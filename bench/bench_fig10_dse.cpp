@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Fig. 10: design space exploration of the four primary Focus
+ * parameters.  Each sweep varies one factor with the others at their
+ * defaults, on Llava-Video (VideoMME / MLVU as in the paper).
+ *
+ *  (a) GEMM m tile size: smaller tiles cut similarity across tile
+ *      boundaries -> latency rises as tiles shrink; the paper picks
+ *      1024 (~19% over full-height at a practical buffer size).
+ *  (b) Vector size: smaller vectors remove more array MACs but add
+ *      accumulator work; 32 balances both and matches the array.
+ *  (c) SIC block size (f,h,w): larger blocks find more redundancy,
+ *      temporal extent helping most; 2x2x2 suffices.
+ *  (d) Scatter accumulators: 64 is within a few percent of 160.
+ */
+
+#include "bench_util.h"
+
+#include "eval/report.h"
+
+using namespace focus;
+
+int
+main(int argc, char **argv)
+{
+    const int samples = benchSamples(argc, argv, 4);
+    benchBanner("Fig. 10: design space exploration", samples);
+
+    EvalOptions opts;
+    opts.samples = samples;
+    Evaluator ev("Llava-Vid", "VideoMME", opts);
+    Evaluator ev_mlvu("Llava-Vid", "MLVU", opts);
+
+    // ------------------------------------------------------------
+    // (a) GEMM m tile size.  The functional tile size scales with
+    // the reduced token count; the timing tile scales at full scale.
+    // ------------------------------------------------------------
+    {
+        std::printf("--- (a) GEMM m tile size ---\n");
+        TextTable t({"mTile", "NormLatency", "Accuracy(%)",
+                     "OutBuf(KB)"});
+        double base = 0.0;
+        for (int64_t tile : {4096, 2048, 1024, 512, 128, 32}) {
+            MethodConfig m = MethodConfig::focusFull();
+            // Scale the functional tile proportionally (reduced
+            // scale is ~600 active rows vs 6381 full).
+            m.focus.sic.m_tile = std::max<int64_t>(2, tile / 10);
+            AccelConfig a = AccelConfig::focus();
+            a.m_tile = tile;
+            a.output_buffer = tile * 4 * 128; // keep 128 cols resident
+            MethodEval e;
+            const RunMetrics rm = ev.simulate(m, a, &e);
+            const double lat = static_cast<double>(rm.cycles);
+            if (base == 0.0) {
+                base = lat;
+            }
+            t.addRow({std::to_string(tile), fmtF(lat / base, 3),
+                      fmtPct(e.accuracy),
+                      fmtF(static_cast<double>(a.output_buffer) /
+                           1024.0, 0)});
+        }
+        std::printf("%s\n", t.render().c_str());
+    }
+
+    // ------------------------------------------------------------
+    // (b) Vector size: systolic-array MACs vs accumulator ops.
+    // ------------------------------------------------------------
+    {
+        std::printf("--- (b) vector size ---\n");
+        TextTable t({"VecSize", "ArrayGOPs", "AccumGOPs",
+                     "Accuracy(%)"});
+        for (int vec : {8, 16, 32, 64}) {
+            MethodConfig m = MethodConfig::focusFull();
+            m.focus.sic.vector_size = vec;
+            AccelConfig a = AccelConfig::focus();
+            a.vector_size = vec;
+            // The array height must not exceed the vector size
+            // (Sec. VII-D), so k-subtiles shrink with the vector.
+            a.array_rows = std::min(32, vec);
+            MethodEval e;
+            const RunMetrics rm = ev_mlvu.simulate(m, a, &e);
+            const WorkloadTrace tr = ev_mlvu.buildFullTrace(m, e);
+            t.addRow({std::to_string(vec),
+                      fmtF(tr.totalMacs() / 1e9, 1),
+                      fmtF(rm.scatter_ops / 1e9, 1),
+                      fmtPct(e.accuracy)});
+        }
+        std::printf("%s\n", t.render().c_str());
+        std::printf("Expected shape: array ops fall and accumulator "
+                    "ops rise as vectors shrink; 32 balances.\n\n");
+    }
+
+    // ------------------------------------------------------------
+    // (c) SIC block size (f, h, w).
+    // ------------------------------------------------------------
+    {
+        std::printf("--- (c) SIC block size (f,h,w) ---\n");
+        TextTable t({"Block", "NormLatency", "Accuracy(%)"});
+        double base = 0.0;
+        const int sizes[][3] = {{1, 1, 1}, {1, 2, 2}, {1, 3, 3},
+                                {2, 1, 1}, {2, 2, 2}, {2, 3, 3},
+                                {3, 2, 2}, {3, 3, 3}};
+        for (const auto &s : sizes) {
+            MethodConfig m = MethodConfig::focusFull();
+            m.focus.sic.block_f = s[0];
+            m.focus.sic.block_h = s[1];
+            m.focus.sic.block_w = s[2];
+            MethodEval e;
+            const RunMetrics rm =
+                ev.simulate(m, AccelConfig::focus(), &e);
+            const double lat = static_cast<double>(rm.cycles);
+            if (base == 0.0) {
+                base = lat;
+            }
+            char label[16];
+            std::snprintf(label, sizeof(label), "%d%d%d", s[0], s[1],
+                          s[2]);
+            t.addRow({label, fmtF(lat / base, 3), fmtPct(e.accuracy)});
+        }
+        std::printf("%s\n", t.render().c_str());
+        std::printf("Expected shape: larger blocks reduce latency; "
+                    "the temporal dimension helps most; 2x2x2 is "
+                    "sufficient.\n\n");
+    }
+
+    // ------------------------------------------------------------
+    // (d) Scatter accumulators (timing only; accuracy unaffected).
+    // ------------------------------------------------------------
+    {
+        std::printf("--- (d) scatter accumulators ---\n");
+        const MethodEval e =
+            ev.runFunctional(MethodConfig::focusFull());
+        const WorkloadTrace tr =
+            ev.buildFullTrace(MethodConfig::focusFull(), e);
+        TextTable t({"Accumulators", "NormLatency"});
+        double base = 0.0;
+        for (int acc : {160, 128, 96, 64, 32}) {
+            AccelConfig a = AccelConfig::focus();
+            a.scatter_accumulators = acc;
+            const RunMetrics rm = simulateAccelerator(a, tr);
+            const double lat = static_cast<double>(rm.cycles);
+            if (base == 0.0) {
+                base = lat;
+            }
+            t.addRow({std::to_string(acc), fmtF(lat / base, 3)});
+        }
+        std::printf("%s\n", t.render().c_str());
+        std::printf("Expected shape: 64 accumulators within a few "
+                    "percent of 160; 32 visibly worse "
+                    "(paper: ~5%% / ~1.5x).\n");
+    }
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Fig. 12: memory access analysis — (a) overall DRAM activation
+ * traffic and (b) mean input (activation) matrix size, both
+ * normalized to the dense systolic array, per model (averaged over
+ * the three video datasets) plus the mean.
+ *
+ * Paper reference: Focus reaches ~0.21x DRAM access and ~0.18x
+ * activation size; AdapTiV ~0.44/0.53 and CMC ~0.76/0.38 — CMC
+ * compresses more than AdapTiV yet moves *more* DRAM data because of
+ * its off-chip codec round trip (Sec. VII-F).
+ */
+
+#include "bench_util.h"
+
+#include "eval/report.h"
+
+using namespace focus;
+
+int
+main(int argc, char **argv)
+{
+    const int samples = benchSamples(argc, argv, 4);
+    benchBanner("Fig. 12: DRAM access and activation size", samples);
+
+    TextTable dram_table({"Model", "SA", "Adaptiv", "CMC", "Ours"});
+    TextTable size_table({"Model", "SA", "Adaptiv", "CMC", "Ours"});
+
+    double mean_dram[3] = {0, 0, 0};
+    double mean_size[3] = {0, 0, 0};
+    const auto models = videoModelNames();
+
+    for (const std::string &model : models) {
+        double dram[3] = {0, 0, 0};
+        double size[3] = {0, 0, 0};
+        for (const std::string &dataset : videoDatasetNames()) {
+            EvalOptions opts;
+            opts.samples = samples;
+            Evaluator ev(model, dataset, opts);
+
+            const RunMetrics sa = ev.simulate(
+                MethodConfig::dense(), AccelConfig::systolicArray());
+            const RunMetrics entries[3] = {
+                ev.simulate(MethodConfig::adaptivBaseline(),
+                            AccelConfig::adaptiv()),
+                ev.simulate(MethodConfig::cmcBaseline(),
+                            AccelConfig::cmc()),
+                ev.simulate(MethodConfig::focusFull(),
+                            AccelConfig::focus()),
+            };
+            for (int i = 0; i < 3; ++i) {
+                dram[i] += static_cast<double>(
+                               entries[i].dramActivationBytes()) /
+                    static_cast<double>(sa.dramActivationBytes());
+                size[i] += entries[i].mean_input_frac /
+                    sa.mean_input_frac;
+            }
+        }
+        const double inv =
+            1.0 / static_cast<double>(videoDatasetNames().size());
+        dram_table.addRow({model, "1.000", fmtF(dram[0] * inv, 3),
+                           fmtF(dram[1] * inv, 3),
+                           fmtF(dram[2] * inv, 3)});
+        size_table.addRow({model, "1.000", fmtF(size[0] * inv, 3),
+                           fmtF(size[1] * inv, 3),
+                           fmtF(size[2] * inv, 3)});
+        for (int i = 0; i < 3; ++i) {
+            mean_dram[i] += dram[i] * inv / models.size();
+            mean_size[i] += size[i] * inv / models.size();
+        }
+    }
+    dram_table.addRow({"Mean", "1.000", fmtF(mean_dram[0], 3),
+                       fmtF(mean_dram[1], 3), fmtF(mean_dram[2], 3)});
+    size_table.addRow({"Mean", "1.000", fmtF(mean_size[0], 3),
+                       fmtF(mean_size[1], 3), fmtF(mean_size[2], 3)});
+
+    std::printf("(a) normalized DRAM activation access\n%s\n",
+                dram_table.render().c_str());
+    std::printf("(b) normalized activation (input matrix) size\n%s\n",
+                size_table.render().c_str());
+    std::printf("Expected shape: Ours lowest on both; CMC's traffic "
+                "ratio worse than its size ratio (codec round "
+                "trip).\n");
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fig. 2(b): cosine-similarity CDF of activation vectors as a
+ * function of vector size.
+ *
+ * For each vector size we compare every token's activation slice
+ * against the same slice of the same-position token in the previous
+ * frame (the dominant redundancy axis) and print the CDF of the
+ * similarity, plus the fraction exceeding the 0.9 threshold.  Paper
+ * reference: ~64% of 8-dim vectors exceed 0.9 while only ~18% of
+ * full-width (3584) vectors do — finer granularity exposes more
+ * redundancy.
+ */
+
+#include "bench_util.h"
+
+#include "common/stats.h"
+#include "eval/report.h"
+#include "tensor/ops.h"
+
+using namespace focus;
+
+int
+main(int argc, char **argv)
+{
+    const int samples = benchSamples(argc, argv, 4);
+    benchBanner("Fig. 2(b): similarity CDF vs vector size", samples);
+
+    const DatasetProfile dp = datasetProfile("VideoMME");
+    const ModelProfile mp = modelProfile("Llava-Vid");
+    const VideoGenerator gen(dp, mp, 42);
+
+    const std::vector<int> vector_sizes = {8, 16, 32, 64};
+    const std::vector<double> thresholds = {0.5, 0.6, 0.7, 0.8,
+                                            0.9, 0.95};
+
+    TextTable table({"VecSize", "P(<=0.5)", "P(<=0.6)", "P(<=0.7)",
+                     "P(<=0.8)", "P(<=0.9)", "P(<=0.95)", "P(>0.9)"});
+
+    for (int vec : vector_sizes) {
+        Histogram hist(-1.0, 1.0, 100);
+        for (int s = 0; s < samples; ++s) {
+            const VideoSample sample =
+                gen.sample(static_cast<uint64_t>(s));
+            for (int f = 1; f < sample.frames; ++f) {
+                for (int r = 0; r < sample.grid_h; ++r) {
+                    for (int c = 0; c < sample.grid_w; ++c) {
+                        const float *a = sample.visual_tokens.row(
+                            sample.tokenIndex(f, r, c));
+                        const float *b = sample.visual_tokens.row(
+                            sample.tokenIndex(f - 1, r, c));
+                        for (int v = 0; v + vec <= mp.hidden;
+                             v += vec) {
+                            hist.add(cosineSimilarity(a + v, b + v,
+                                                      vec));
+                        }
+                    }
+                }
+            }
+        }
+        std::vector<std::string> row = {std::to_string(vec)};
+        for (double th : thresholds) {
+            row.push_back(fmtF(hist.cdfAt(th), 3));
+        }
+        row.push_back(fmtF(1.0 - hist.cdfAt(0.9), 3));
+        table.addRow(row);
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Expected shape: P(>0.9) decreases monotonically "
+                "with vector size (paper: 64%% at 8 dims vs 18%% at "
+                "full width).\n");
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Fig. 9(a): end-to-end speedup of every architecture over the dense
+ * systolic array, per (model, dataset) cell plus geometric mean.
+ *
+ * Paper reference (geomean): GPU 0.57x, AdapTiV 1.72x, CMC 1.90x,
+ * GPU+FrameFusion 1.89x, Focus 4.47x (i.e. Focus is 2.60x over
+ * AdapTiV, 2.35x over CMC, 7.90x over the GPU, 2.37x over GPU+FF).
+ */
+
+#include <cmath>
+
+#include "bench_util.h"
+
+#include "eval/report.h"
+
+using namespace focus;
+
+int
+main(int argc, char **argv)
+{
+    const int samples = benchSamples(argc, argv, 5);
+    benchBanner("Fig. 9(a): speedup over the dense systolic array",
+                samples);
+
+    TextTable table({"Model", "Dataset", "SA", "GPU", "Adaptiv",
+                     "CMC", "GPU+FF", "Ours"});
+
+    struct Geo
+    {
+        double log_sum = 0.0;
+        int n = 0;
+        void add(double v) { log_sum += std::log(v); ++n; }
+        double mean() const { return std::exp(log_sum / n); }
+    };
+    Geo g_gpu, g_ada, g_cmc, g_ff, g_ours;
+
+    for (const std::string &model : videoModelNames()) {
+        for (const std::string &dataset : videoDatasetNames()) {
+            EvalOptions opts;
+            opts.samples = samples;
+            Evaluator ev(model, dataset, opts);
+
+            MethodEval dense_eval;
+            const RunMetrics sa =
+                ev.simulate(MethodConfig::dense(),
+                            AccelConfig::systolicArray(), &dense_eval);
+            const RunMetrics ada = ev.simulate(
+                MethodConfig::adaptivBaseline(), AccelConfig::adaptiv());
+            const RunMetrics cmc = ev.simulate(
+                MethodConfig::cmcBaseline(), AccelConfig::cmc());
+            const RunMetrics ours = ev.simulate(
+                MethodConfig::focusFull(), AccelConfig::focus());
+
+            const GpuConfig gpu;
+            const WorkloadTrace dense_tr =
+                ev.buildFullTrace(MethodConfig::dense(), dense_eval);
+            const double t_gpu = gpuSeconds(dense_tr, gpu, false);
+            MethodConfig ff = MethodConfig::frameFusionBaseline();
+            ff.framefusion.reduction = ev.frameFusionReductionFor(0.70);
+            const MethodEval ff_eval = ev.runFunctional(ff);
+            const double t_ff = gpuSeconds(
+                ev.buildFullTrace(ff, ff_eval), gpu, true);
+
+            const double s_gpu = sa.seconds() / t_gpu;
+            const double s_ada =
+                static_cast<double>(sa.cycles) / ada.cycles;
+            const double s_cmc =
+                static_cast<double>(sa.cycles) / cmc.cycles;
+            const double s_ff = sa.seconds() / t_ff;
+            const double s_ours =
+                static_cast<double>(sa.cycles) / ours.cycles;
+
+            g_gpu.add(s_gpu);
+            g_ada.add(s_ada);
+            g_cmc.add(s_cmc);
+            g_ff.add(s_ff);
+            g_ours.add(s_ours);
+
+            table.addRow({model, dataset, "1.00", fmtF(s_gpu, 2),
+                          fmtF(s_ada, 2), fmtF(s_cmc, 2),
+                          fmtF(s_ff, 2), fmtF(s_ours, 2)});
+        }
+    }
+    table.addRow({"Geometric", "Mean", "1.00", fmtF(g_gpu.mean(), 2),
+                  fmtF(g_ada.mean(), 2), fmtF(g_cmc.mean(), 2),
+                  fmtF(g_ff.mean(), 2), fmtF(g_ours.mean(), 2)});
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Derived ratios (paper): Ours/Adaptiv = %.2fx (2.60), "
+                "Ours/CMC = %.2fx (2.35), Ours/GPU = %.2fx (7.90), "
+                "Ours/GPU+FF = %.2fx (2.37)\n",
+                g_ours.mean() / g_ada.mean(),
+                g_ours.mean() / g_cmc.mean(),
+                g_ours.mean() / g_gpu.mean(),
+                g_ours.mean() / g_ff.mean());
+    return 0;
+}

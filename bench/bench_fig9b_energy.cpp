@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Fig. 9(b): energy consumption normalized to the dense systolic
+ * array, broken into core / buffer / DRAM components.
+ *
+ * Paper reference: Focus improves energy efficiency by 4.67x over the
+ * dense SA, 2.98x over AdapTiV and 3.29x over CMC, with DRAM the
+ * largest component in every design.
+ */
+
+#include <cmath>
+
+#include "bench_util.h"
+
+#include "eval/report.h"
+
+using namespace focus;
+
+int
+main(int argc, char **argv)
+{
+    const int samples = benchSamples(argc, argv, 5);
+    benchBanner("Fig. 9(b): normalized energy with breakdown",
+                samples);
+
+    TextTable table({"Model", "Dataset", "Arch", "Core", "Buffer",
+                     "DRAM", "Total(norm)"});
+
+    struct Geo
+    {
+        double log_sum = 0.0;
+        int n = 0;
+        void add(double v) { log_sum += std::log(v); ++n; }
+        double mean() const { return std::exp(log_sum / n); }
+    };
+    Geo g_ada, g_cmc, g_ours;
+
+    for (const std::string &model : videoModelNames()) {
+        for (const std::string &dataset : videoDatasetNames()) {
+            EvalOptions opts;
+            opts.samples = samples;
+            Evaluator ev(model, dataset, opts);
+
+            const RunMetrics sa = ev.simulate(
+                MethodConfig::dense(), AccelConfig::systolicArray());
+            const double base = sa.energy.total();
+
+            struct Entry
+            {
+                const char *name;
+                RunMetrics rm;
+            };
+            const std::vector<Entry> entries = {
+                {"SA", sa},
+                {"Adaptiv",
+                 ev.simulate(MethodConfig::adaptivBaseline(),
+                             AccelConfig::adaptiv())},
+                {"CMC", ev.simulate(MethodConfig::cmcBaseline(),
+                                    AccelConfig::cmc())},
+                {"Ours", ev.simulate(MethodConfig::focusFull(),
+                                     AccelConfig::focus())},
+            };
+            for (const Entry &e : entries) {
+                const EnergyBreakdown &en = e.rm.energy;
+                const double core_frac =
+                    (en.core + en.sfu + en.sec + en.sic + en.merge) /
+                    base;
+                table.addRow({model, dataset, e.name,
+                              fmtF(core_frac, 3),
+                              fmtF(en.buffer / base, 3),
+                              fmtF(en.dram / base, 3),
+                              fmtF(en.total() / base, 3)});
+                if (std::string(e.name) == "Adaptiv") {
+                    g_ada.add(base / en.total());
+                } else if (std::string(e.name) == "CMC") {
+                    g_cmc.add(base / en.total());
+                } else if (std::string(e.name) == "Ours") {
+                    g_ours.add(base / en.total());
+                }
+            }
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Energy-efficiency geomeans vs SA (paper): "
+                "Ours %.2fx (4.67), Adaptiv %.2fx (1.57), "
+                "CMC %.2fx (1.42); Ours/Adaptiv = %.2fx (2.98), "
+                "Ours/CMC = %.2fx (3.29)\n",
+                g_ours.mean(), g_ada.mean(), g_cmc.mean(),
+                g_ours.mean() / g_ada.mean(),
+                g_ours.mean() / g_cmc.mean());
+    return 0;
+}

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Micro-kernel throughput benchmarks (google-benchmark): the hot
+ * functional kernels underneath the reproduction — GEMM, cosine
+ * similarity matching, similarity gather, streaming top-k, offset
+ * coding, and the DRAM model.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "focus/offset_encoding.h"
+#include "focus/sec.h"
+#include "focus/sic.h"
+#include "sim/dram.h"
+#include "sim/systolic.h"
+#include "tensor/ops.h"
+#include "tensor/quant.h"
+
+using namespace focus;
+
+namespace
+{
+
+Tensor
+randomTensor(Rng &rng, int64_t r, int64_t c)
+{
+    Tensor t(r, c);
+    for (int64_t i = 0; i < t.numel(); ++i) {
+        t.data()[i] = static_cast<float>(rng.gaussian());
+    }
+    return t;
+}
+
+void
+BM_Gemm(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(1);
+    const Tensor a = randomTensor(rng, n, n);
+    const Tensor b = randomTensor(rng, n, n);
+    Tensor c;
+    for (auto _ : state) {
+        gemm(a, b, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_GemmInt8(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(2);
+    const Tensor a = randomTensor(rng, n, n);
+    const Tensor b = randomTensor(rng, n, n);
+    Tensor c;
+    for (auto _ : state) {
+        gemmInt8(a, b, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmInt8)->Arg(64)->Arg(128);
+
+void
+BM_CosineSimilarity(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(3);
+    const Tensor t = randomTensor(rng, 2, n);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cosineSimilarity(t.row(0), t.row(1), n));
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CosineSimilarity)->Arg(8)->Arg(32)->Arg(128);
+
+void
+BM_SicGather(benchmark::State &state)
+{
+    const int frames = 8, h = 10, w = 10;
+    Rng rng(4);
+    std::vector<TokenCoord> coords;
+    for (int f = 0; f < frames; ++f) {
+        for (int r = 0; r < h; ++r) {
+            for (int c = 0; c < w; ++c) {
+                coords.push_back(TokenCoord{f, r, c});
+            }
+        }
+    }
+    const Tensor base = randomTensor(rng, frames * h * w, 64);
+    SicConfig cfg;
+    for (auto _ : state) {
+        Tensor x = base;
+        const SicResult res = sicGather(x, coords, cfg);
+        benchmark::DoNotOptimize(res.unique_vectors);
+    }
+    state.SetItemsProcessed(state.iterations() * frames * h * w * 2);
+}
+BENCHMARK(BM_SicGather);
+
+void
+BM_StreamingTopK(benchmark::State &state)
+{
+    const int64_t m = state.range(0);
+    Rng rng(5);
+    std::vector<float> imp(static_cast<size_t>(m));
+    for (auto &v : imp) {
+        v = static_cast<float>(rng.uniform());
+    }
+    StreamingTopK sorter(32, m / 4);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sorter.select(imp));
+    }
+    state.SetItemsProcessed(state.iterations() * m);
+}
+BENCHMARK(BM_StreamingTopK)->Arg(800)->Arg(6400);
+
+void
+BM_OffsetCoding(benchmark::State &state)
+{
+    std::vector<int64_t> retained;
+    Rng rng(6);
+    int64_t pos = 0;
+    for (int i = 0; i < 2000; ++i) {
+        pos += 1 + static_cast<int64_t>(rng.uniformInt(9));
+        retained.push_back(pos);
+    }
+    for (auto _ : state) {
+        const auto enc = encodeOffsets(retained);
+        benchmark::DoNotOptimize(decodeOffsets(enc));
+    }
+    state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_OffsetCoding);
+
+void
+BM_DramRequests(benchmark::State &state)
+{
+    DramModel dram{DramConfig{}};
+    uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dram.access(addr, 64, false));
+        addr += 64;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DramRequests);
+
+void
+BM_TimeGemmModel(benchmark::State &state)
+{
+    const AccelConfig cfg = AccelConfig::focus();
+    FracSampler psi(nullptr, 0.5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            timeGemm(cfg, 6381, 3584, 3584, psi, true, true).cycles);
+    }
+}
+BENCHMARK(BM_TimeGemmModel);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Table III: configuration comparison of Focus and the baseline
+ * architectures — PE array, buffers, DRAM bandwidth, on-chip area and
+ * power (power measured on the Llava-Vid x VideoMME workload, as in
+ * the paper).
+ *
+ * Paper reference: area 3.12 / 3.38 / 3.58 / 3.21 mm^2 and on-chip
+ * power 720 / 1176 / 832 / 736 mW for SA / AdapTiV / CMC / Focus.
+ */
+
+#include "bench_util.h"
+
+#include "eval/report.h"
+#include "sim/area.h"
+
+using namespace focus;
+
+int
+main(int argc, char **argv)
+{
+    const int samples = benchSamples(argc, argv, 6);
+    benchBanner("Table III: architecture configuration comparison",
+                samples);
+
+    EvalOptions opts;
+    opts.samples = samples;
+    Evaluator ev("Llava-Vid", "VideoMME", opts);
+
+    struct Row
+    {
+        MethodConfig method;
+        AccelConfig accel;
+    };
+    const std::vector<Row> rows = {
+        {MethodConfig::dense(), AccelConfig::systolicArray()},
+        {MethodConfig::adaptivBaseline(), AccelConfig::adaptiv()},
+        {MethodConfig::cmcBaseline(), AccelConfig::cmc()},
+        {MethodConfig::focusFull(), AccelConfig::focus()},
+    };
+
+    TextTable table({"Architecture", "PE Array", "Buffer(KB)",
+                     "DRAM(GB/s)", "Area(mm2)", "OnChipPower(mW)"});
+    for (const Row &row : rows) {
+        const RunMetrics rm = ev.simulate(row.method, row.accel);
+        char pe[32];
+        std::snprintf(pe, sizeof(pe), "%dx%d", row.accel.array_rows,
+                      row.accel.array_cols);
+        const double bw = row.accel.dram.bytes_per_cycle_per_channel *
+            row.accel.dram.channels * row.accel.freq_ghz;
+        table.addRow({row.accel.name, pe,
+                      fmtF(static_cast<double>(
+                               row.accel.totalBufferBytes()) / 1024.0,
+                           0),
+                      fmtF(bw, 0), fmtF(totalArea(row.accel), 2),
+                      fmtF(rm.onChipPowerW() * 1e3, 0)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Paper reference: area 3.12/3.38/3.58/3.21 mm2, "
+                "power 720/1176/832/736 mW\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared helpers for the bench harness binaries.
+ *
+ * Every bench accepts an optional sample-count argument (argv[1], or
+ * the FOCUS_BENCH_SAMPLES environment variable) controlling how many
+ * synthetic QA samples feed each functional measurement; defaults are
+ * sized so the full bench suite completes in minutes.  Results are
+ * deterministic in the seed.
+ */
+
+#ifndef FOCUS_BENCH_BENCH_UTIL_H
+#define FOCUS_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "eval/evaluator.h"
+#include "sim/gpu_model.h"
+
+namespace focus
+{
+
+/** Parse the per-cell sample count. */
+inline int
+benchSamples(int argc, char **argv, int fallback)
+{
+    if (argc > 1) {
+        return std::max(1, std::atoi(argv[1]));
+    }
+    if (const char *env = std::getenv("FOCUS_BENCH_SAMPLES")) {
+        return std::max(1, std::atoi(env));
+    }
+    return fallback;
+}
+
+/** Accelerator architecture matching a method (for Fig. 9 style). */
+inline AccelConfig
+accelForMethod(const MethodConfig &m)
+{
+    switch (m.kind) {
+      case MethodKind::AdapTiV:
+        return AccelConfig::adaptiv();
+      case MethodKind::CMC:
+        return AccelConfig::cmc();
+      case MethodKind::Focus:
+        return AccelConfig::focus();
+      default:
+        return AccelConfig::systolicArray();
+    }
+}
+
+/** Standard bench banner. */
+inline void
+benchBanner(const char *what, int samples)
+{
+    std::printf("=== %s ===\n", what);
+    std::printf("(synthetic reproduction; %d samples per cell; "
+                "see EXPERIMENTS.md for paper-vs-measured)\n\n",
+                samples);
+}
+
+} // namespace focus
+
+#endif // FOCUS_BENCH_BENCH_UTIL_H

@@ -1,0 +1,84 @@
+#include "baselines/adaptiv.h"
+
+#include "common/half.h"
+#include "common/logging.h"
+
+namespace focus
+{
+
+double
+signAgreement(const float *a, const float *b, int64_t n)
+{
+    int64_t agree = 0;
+    for (int64_t i = 0; i < n; ++i) {
+        const bool sa = Half(a[i]).signBit();
+        const bool sb = Half(b[i]).signBit();
+        if (sa == sb) {
+            ++agree;
+        }
+    }
+    return static_cast<double>(agree) / static_cast<double>(n);
+}
+
+TokenReduction
+adaptivReduce(const Tensor &visual, const std::vector<TokenCoord> &coords,
+              int frames, int grid_h, int grid_w,
+              const AdaptivConfig &cfg)
+{
+    const int64_t m = visual.rows();
+    const int64_t d = visual.cols();
+    if (static_cast<int64_t>(coords.size()) != m) {
+        panic("adaptivReduce: coords/rows mismatch");
+    }
+
+    TokenReduction red;
+    red.assign.assign(static_cast<size_t>(m), -1);
+
+    auto flat = [&](int f, int r, int c) {
+        return (static_cast<int64_t>(f) * grid_h + r) * grid_w + c;
+    };
+
+    for (int f = 0; f < frames; ++f) {
+        for (int r = 0; r < grid_h; ++r) {
+            for (int c = 0; c < grid_w; ++c) {
+                const int64_t i = flat(f, r, c);
+                const float *xi = visual.row(i);
+
+                // Candidate kept neighbours: left, top (intra-frame).
+                int64_t best = -1;
+                double best_sim = cfg.sign_threshold;
+                for (int nb = 0; nb < 2; ++nb) {
+                    const int rr = nb == 0 ? r : r - 1;
+                    const int cc = nb == 0 ? c - 1 : c;
+                    if (rr < 0 || cc < 0) {
+                        continue;
+                    }
+                    const int64_t j = flat(f, rr, cc);
+                    // Merge into the neighbour's surviving
+                    // representative.
+                    const int64_t rep = red.assign[
+                        static_cast<size_t>(j)];
+                    if (rep < 0) {
+                        continue;
+                    }
+                    const double sim =
+                        signAgreement(xi, visual.row(rep), d);
+                    if (sim >= best_sim) {
+                        best_sim = sim;
+                        best = rep;
+                    }
+                }
+                red.assign[static_cast<size_t>(i)] = best >= 0 ? best : i;
+            }
+        }
+    }
+
+    for (int64_t i = 0; i < m; ++i) {
+        if (red.assign[static_cast<size_t>(i)] == i) {
+            red.kept.push_back(i);
+        }
+    }
+    return red;
+}
+
+} // namespace focus

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * AdapTiV baseline: sign-similarity based image-adaptive token
+ * merging (Yoo et al., MICRO 2024), extended to VLM inputs as in the
+ * paper's baseline setup.
+ *
+ * AdapTiV compares the *sign bits* of token embeddings — a very cheap
+ * hardware similarity check — and merges a token into a spatial
+ * neighbour when the fraction of agreeing signs exceeds a threshold.
+ * It is intra-frame only (designed for static images) and ignores the
+ * text prompt.
+ */
+
+#ifndef FOCUS_BASELINES_ADAPTIV_H
+#define FOCUS_BASELINES_ADAPTIV_H
+
+#include "baselines/token_reduction.h"
+#include "tensor/tensor.h"
+#include "workload/video_gen.h"
+
+namespace focus
+{
+
+struct AdaptivConfig
+{
+    /** Fraction of matching sign bits required to merge. */
+    double sign_threshold = 0.72;
+};
+
+/**
+ * Sign-bit agreement fraction between two length-n embeddings,
+ * evaluated on their binary16 sign bits.
+ */
+double signAgreement(const float *a, const float *b, int64_t n);
+
+/**
+ * Compute the AdapTiV token reduction for one sample.
+ *
+ * Tokens are scanned in raster order within each frame; each token is
+ * compared against its left and top kept neighbours and merged into
+ * the more sign-similar one if above threshold.
+ */
+TokenReduction adaptivReduce(const Tensor &visual,
+                             const std::vector<TokenCoord> &coords,
+                             int frames, int grid_h, int grid_w,
+                             const AdaptivConfig &cfg);
+
+} // namespace focus
+
+#endif // FOCUS_BASELINES_ADAPTIV_H

@@ -1,0 +1,95 @@
+#include "baselines/cmc.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace focus
+{
+
+double
+normalizedSad(const float *a, const float *b, int64_t n)
+{
+    double sad = 0.0;
+    double mag = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+        sad += std::abs(static_cast<double>(a[i]) - b[i]);
+        mag += std::abs(static_cast<double>(a[i]));
+    }
+    if (mag < 1e-9) {
+        return sad < 1e-9 ? 0.0 : 1e9;
+    }
+    return sad / mag;
+}
+
+TokenReduction
+cmcReduce(const Tensor &visual, const std::vector<TokenCoord> &coords,
+          int frames, int grid_h, int grid_w, const CmcConfig &cfg)
+{
+    const int64_t m = visual.rows();
+    const int64_t d = visual.cols();
+    if (static_cast<int64_t>(coords.size()) != m) {
+        panic("cmcReduce: coords/rows mismatch");
+    }
+
+    TokenReduction red;
+    red.assign.assign(static_cast<size_t>(m), -1);
+
+    auto flat = [&](int f, int r, int c) {
+        return (static_cast<int64_t>(f) * grid_h + r) * grid_w + c;
+    };
+
+    for (int f = 0; f < frames; ++f) {
+        for (int r = 0; r < grid_h; ++r) {
+            for (int c = 0; c < grid_w; ++c) {
+                const int64_t i = flat(f, r, c);
+                if (f == 0) {
+                    red.assign[static_cast<size_t>(i)] = i;
+                    continue;
+                }
+                const float *xi = visual.row(i);
+                int64_t best_ref = -1;
+                double best_sad = cfg.sad_threshold;
+                for (int dr = -cfg.search_radius;
+                     dr <= cfg.search_radius; ++dr) {
+                    for (int dc = -cfg.search_radius;
+                         dc <= cfg.search_radius; ++dc) {
+                        const int rr = r + dr;
+                        const int cc = c + dc;
+                        if (rr < 0 || rr >= grid_h || cc < 0 ||
+                            cc >= grid_w) {
+                            continue;
+                        }
+                        const int64_t j = flat(f - 1, rr, cc);
+                        const double sad =
+                            normalizedSad(xi, visual.row(j), d);
+                        if (sad < best_sad) {
+                            best_sad = sad;
+                            best_ref = j;
+                        }
+                    }
+                }
+                if (best_ref >= 0) {
+                    // Inter-code: chain to the reference's surviving
+                    // representative (which may itself be inter-coded
+                    // into an earlier frame).
+                    const int64_t rep =
+                        red.assign[static_cast<size_t>(best_ref)];
+                    red.assign[static_cast<size_t>(i)] =
+                        rep >= 0 ? rep : best_ref;
+                } else {
+                    red.assign[static_cast<size_t>(i)] = i;
+                }
+            }
+        }
+    }
+
+    for (int64_t i = 0; i < m; ++i) {
+        if (red.assign[static_cast<size_t>(i)] == i) {
+            red.kept.push_back(i);
+        }
+    }
+    return red;
+}
+
+} // namespace focus

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * CMC baseline: codec-assisted matrix condensing (Song et al.,
+ * ASPLOS 2024), extended to VLM inputs.
+ *
+ * CMC borrows H.264-style motion estimation: for every token of
+ * frame f it searches a window in frame f-1 for the minimum-SAD
+ * (sum of absolute differences) reference; tokens whose best residual
+ * falls below a threshold are inter-coded, i.e. dropped and replaced
+ * by a reference to the matched token.  The search is global
+ * token-wise and — in the hardware design — runs in an off-chip codec
+ * unit after full token outputs are staged in DRAM, which is the
+ * traffic behaviour contrasted in Fig. 3/Fig. 12.
+ */
+
+#ifndef FOCUS_BASELINES_CMC_H
+#define FOCUS_BASELINES_CMC_H
+
+#include "baselines/token_reduction.h"
+#include "tensor/tensor.h"
+#include "workload/video_gen.h"
+
+namespace focus
+{
+
+struct CmcConfig
+{
+    /** Motion search radius in patches (window = (2R+1)^2). */
+    int search_radius = 2;
+
+    /**
+     * Normalized SAD threshold: mean |a_i - b_i| divided by the mean
+     * |a_i| of the current token; below this the token is inter-coded.
+     */
+    double sad_threshold = 0.72;
+};
+
+/** Normalized SAD between two length-n embeddings. */
+double normalizedSad(const float *a, const float *b, int64_t n);
+
+/**
+ * Compute the CMC token reduction for one sample.  Frame 0 is fully
+ * intra-coded (kept); subsequent frames motion-search the previous
+ * frame's tokens.
+ */
+TokenReduction cmcReduce(const Tensor &visual,
+                         const std::vector<TokenCoord> &coords,
+                         int frames, int grid_h, int grid_w,
+                         const CmcConfig &cfg);
+
+} // namespace focus
+
+#endif // FOCUS_BASELINES_CMC_H

@@ -1,0 +1,144 @@
+#include "baselines/framefusion.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace focus
+{
+
+TokenReduction
+frameFusionReduce(const Tensor &visual,
+                  const std::vector<TokenCoord> &coords, int frames,
+                  int grid_h, int grid_w, const FrameFusionConfig &cfg)
+{
+    const int64_t m = visual.rows();
+    const int64_t d = visual.cols();
+    if (static_cast<int64_t>(coords.size()) != m) {
+        panic("frameFusionReduce: coords/rows mismatch");
+    }
+
+    TokenReduction red = identityReduction(m);
+    const int64_t budget = static_cast<int64_t>(
+        std::round(cfg.reduction * static_cast<double>(m)));
+    if (budget <= 0) {
+        return red;
+    }
+    const int64_t merge_budget = static_cast<int64_t>(
+        std::round(cfg.merge_share * static_cast<double>(budget)));
+
+    auto flat = [&](int f, int r, int c) {
+        return (static_cast<int64_t>(f) * grid_h + r) * grid_w + c;
+    };
+
+    // Candidate merges: token (f, r, c) into (f-1, r, c), ranked by
+    // cosine similarity.
+    struct Cand
+    {
+        int64_t from;
+        int64_t into;
+        float sim;
+    };
+    std::vector<Cand> cands;
+    cands.reserve(static_cast<size_t>(m));
+    for (int f = 1; f < frames; ++f) {
+        for (int r = 0; r < grid_h; ++r) {
+            for (int c = 0; c < grid_w; ++c) {
+                const int64_t i = flat(f, r, c);
+                const int64_t j = flat(f - 1, r, c);
+                const float sim = cosineSimilarity(
+                    visual.row(i), visual.row(j), d);
+                if (sim >= cfg.min_similarity) {
+                    cands.push_back(Cand{i, j, sim});
+                }
+            }
+        }
+    }
+    std::sort(cands.begin(), cands.end(),
+              [](const Cand &a, const Cand &b) { return a.sim > b.sim; });
+
+    int64_t removed = 0;
+    std::vector<bool> gone(static_cast<size_t>(m), false);
+    for (const Cand &cand : cands) {
+        if (removed >= merge_budget) {
+            break;
+        }
+        if (gone[static_cast<size_t>(cand.from)]) {
+            continue;
+        }
+        // Merge into the target's surviving representative.
+        int64_t rep = cand.into;
+        while (red.assign[static_cast<size_t>(rep)] != rep) {
+            rep = red.assign[static_cast<size_t>(rep)];
+            if (rep < 0) {
+                break;
+            }
+        }
+        if (rep < 0 || gone[static_cast<size_t>(cand.from)] ||
+            rep == cand.from) {
+            continue;
+        }
+        red.assign[static_cast<size_t>(cand.from)] = rep;
+        gone[static_cast<size_t>(cand.from)] = true;
+        ++removed;
+    }
+
+    // Importance pruning: drop the lowest-L2 survivors until the
+    // budget is met.
+    struct Mag
+    {
+        int64_t idx;
+        float norm;
+    };
+    std::vector<Mag> mags;
+    for (int64_t i = 0; i < m; ++i) {
+        if (!gone[static_cast<size_t>(i)] &&
+            red.assign[static_cast<size_t>(i)] == i) {
+            mags.push_back(Mag{i, l2Norm(visual.row(i), d)});
+        }
+    }
+    std::sort(mags.begin(), mags.end(),
+              [](const Mag &a, const Mag &b) { return a.norm < b.norm; });
+    for (const Mag &mg : mags) {
+        if (removed >= budget) {
+            break;
+        }
+        // Pruning a token that others merged into would lose them
+        // too; only prune tokens that are their own singleton group.
+        bool has_dependents = false;
+        for (int64_t i = 0; i < m && !has_dependents; ++i) {
+            if (i != mg.idx &&
+                red.assign[static_cast<size_t>(i)] == mg.idx) {
+                has_dependents = true;
+            }
+        }
+        if (has_dependents) {
+            continue;
+        }
+        red.assign[static_cast<size_t>(mg.idx)] = -1;
+        gone[static_cast<size_t>(mg.idx)] = true;
+        ++removed;
+    }
+
+    // Path-compress: a merge target may itself have been merged
+    // later; resolve every token to its terminal representative.
+    for (int64_t i = 0; i < m; ++i) {
+        int64_t rep = red.assign[static_cast<size_t>(i)];
+        while (rep >= 0 && rep != red.assign[static_cast<size_t>(rep)]) {
+            rep = red.assign[static_cast<size_t>(rep)];
+        }
+        red.assign[static_cast<size_t>(i)] = rep;
+    }
+
+    red.kept.clear();
+    for (int64_t i = 0; i < m; ++i) {
+        if (red.assign[static_cast<size_t>(i)] == i) {
+            red.kept.push_back(i);
+        }
+    }
+    return red;
+}
+
+} // namespace focus

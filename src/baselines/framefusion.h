@@ -1,0 +1,45 @@
+/**
+ * @file
+ * FrameFusion baseline (Fu et al., 2024): software token reduction
+ * combining temporal similarity merging with importance pruning,
+ * configured to a fixed reduction budget (70% in the paper's Tbl. II).
+ */
+
+#ifndef FOCUS_BASELINES_FRAMEFUSION_H
+#define FOCUS_BASELINES_FRAMEFUSION_H
+
+#include "baselines/token_reduction.h"
+#include "tensor/tensor.h"
+#include "workload/video_gen.h"
+
+namespace focus
+{
+
+struct FrameFusionConfig
+{
+    /** Fraction of visual tokens to eliminate (merge + prune). */
+    double reduction = 0.70;
+
+    /**
+     * Of the reduction budget, the fraction satisfied by similarity
+     * merging (the rest by low-magnitude pruning).
+     */
+    double merge_share = 0.6;
+
+    /** Minimum cosine similarity for a temporal merge. */
+    double min_similarity = 0.6;
+};
+
+/**
+ * Compute the FrameFusion reduction: merge the most temporally
+ * similar (same-position, adjacent-frame) token pairs first, then
+ * prune the lowest-L2 tokens until the budget is met.
+ */
+TokenReduction frameFusionReduce(const Tensor &visual,
+                                 const std::vector<TokenCoord> &coords,
+                                 int frames, int grid_h, int grid_w,
+                                 const FrameFusionConfig &cfg);
+
+} // namespace focus
+
+#endif // FOCUS_BASELINES_FRAMEFUSION_H

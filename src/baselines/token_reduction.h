@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Common representation of token-level reduction (merge/prune)
+ * produced by the baseline methods.
+ *
+ * The baselines (AdapTiV, CMC, FrameFusion) all operate at token
+ * granularity: they either merge a token into a surviving
+ * representative or drop it entirely.  The VLM forward pass applies a
+ * TokenReduction before the transformer layers: kept tokens carry the
+ * (weighted) mean embedding of their merge group.
+ */
+
+#ifndef FOCUS_BASELINES_TOKEN_REDUCTION_H
+#define FOCUS_BASELINES_TOKEN_REDUCTION_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace focus
+{
+
+/** Result of a token-level reduction over M visual tokens. */
+struct TokenReduction
+{
+    /**
+     * Per original token: index of the kept token absorbing it,
+     * itself if kept, or -1 if pruned outright.
+     */
+    std::vector<int64_t> assign;
+
+    /** Ascending original indices of kept tokens. */
+    std::vector<int64_t> kept;
+
+    double
+    keepFraction() const
+    {
+        return assign.empty()
+            ? 1.0
+            : static_cast<double>(kept.size()) /
+                  static_cast<double>(assign.size());
+    }
+};
+
+/** Identity reduction over @p m tokens. */
+inline TokenReduction
+identityReduction(int64_t m)
+{
+    TokenReduction r;
+    r.assign.resize(static_cast<size_t>(m));
+    r.kept.resize(static_cast<size_t>(m));
+    for (int64_t i = 0; i < m; ++i) {
+        r.assign[static_cast<size_t>(i)] = i;
+        r.kept[static_cast<size_t>(i)] = i;
+    }
+    return r;
+}
+
+} // namespace focus
+
+#endif // FOCUS_BASELINES_TOKEN_REDUCTION_H

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * IEEE-754 binary16 (half precision) emulation.
+ *
+ * The functional model of the accelerator operates on FP16 activations
+ * with FP32 accumulation, matching the paper's PE configuration
+ * ("FP16 Mul FP32 Acc", Tbl. I).  This header provides a storage type
+ * with round-to-nearest-even conversions and float-backed arithmetic.
+ */
+
+#ifndef FOCUS_COMMON_HALF_H
+#define FOCUS_COMMON_HALF_H
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+namespace focus
+{
+
+namespace detail
+{
+
+/** Bit-exact float -> uint32 reinterpretation. */
+inline uint32_t
+floatBits(float f)
+{
+    uint32_t u;
+    std::memcpy(&u, &f, sizeof(u));
+    return u;
+}
+
+/** Bit-exact uint32 -> float reinterpretation. */
+inline float
+bitsFloat(uint32_t u)
+{
+    float f;
+    std::memcpy(&f, &u, sizeof(f));
+    return f;
+}
+
+} // namespace detail
+
+/**
+ * Convert a float to binary16 bits with round-to-nearest-even.
+ *
+ * Handles normals, subnormals, infinities and NaN.  Overflow saturates
+ * to infinity, matching IEEE default rounding behaviour.
+ */
+inline uint16_t
+floatToHalfBits(float value)
+{
+    const uint32_t bits = detail::floatBits(value);
+    const uint32_t sign = (bits >> 16) & 0x8000u;
+    uint32_t exp = (bits >> 23) & 0xffu;
+    uint32_t mant = bits & 0x7fffffu;
+
+    if (exp == 0xffu) {
+        // Inf or NaN: preserve NaN-ness with a quiet bit.
+        const uint16_t nan_payload = mant ? 0x0200u : 0x0000u;
+        return static_cast<uint16_t>(sign | 0x7c00u | nan_payload |
+                                     (mant >> 13));
+    }
+
+    // Re-bias 127 -> 15.
+    int half_exp = static_cast<int>(exp) - 127 + 15;
+
+    if (half_exp >= 0x1f) {
+        // Overflow -> infinity.
+        return static_cast<uint16_t>(sign | 0x7c00u);
+    }
+
+    if (half_exp <= 0) {
+        // Subnormal half (or underflow to zero).
+        if (half_exp < -10) {
+            return static_cast<uint16_t>(sign);
+        }
+        // Add implicit leading 1, then shift into subnormal position.
+        mant |= 0x800000u;
+        const int shift = 14 - half_exp;
+        const uint32_t sub = mant >> shift;
+        const uint32_t rem = mant & ((1u << shift) - 1);
+        const uint32_t half_bit = 1u << (shift - 1);
+        uint32_t rounded = sub;
+        if (rem > half_bit || (rem == half_bit && (sub & 1u))) {
+            rounded += 1;
+        }
+        return static_cast<uint16_t>(sign | rounded);
+    }
+
+    // Normal half: round 23-bit mantissa to 10 bits (RNE).
+    uint32_t half_mant = mant >> 13;
+    const uint32_t rem = mant & 0x1fffu;
+    if (rem > 0x1000u || (rem == 0x1000u && (half_mant & 1u))) {
+        half_mant += 1;
+        if (half_mant == 0x400u) {
+            half_mant = 0;
+            half_exp += 1;
+            if (half_exp >= 0x1f) {
+                return static_cast<uint16_t>(sign | 0x7c00u);
+            }
+        }
+    }
+    return static_cast<uint16_t>(
+        sign | (static_cast<uint32_t>(half_exp) << 10) | half_mant);
+}
+
+/** Convert binary16 bits to float (exact). */
+inline float
+halfBitsToFloat(uint16_t h)
+{
+    const uint32_t sign = (static_cast<uint32_t>(h) & 0x8000u) << 16;
+    uint32_t exp = (h >> 10) & 0x1fu;
+    uint32_t mant = h & 0x3ffu;
+
+    if (exp == 0) {
+        if (mant == 0) {
+            return detail::bitsFloat(sign);
+        }
+        // Subnormal: normalize.
+        int shift = 0;
+        while ((mant & 0x400u) == 0) {
+            mant <<= 1;
+            ++shift;
+        }
+        mant &= 0x3ffu;
+        const uint32_t fexp = 127 - 15 - shift + 1;
+        return detail::bitsFloat(sign | (fexp << 23) | (mant << 13));
+    }
+    if (exp == 0x1fu) {
+        return detail::bitsFloat(sign | 0x7f800000u | (mant << 13));
+    }
+    const uint32_t fexp = exp - 15 + 127;
+    return detail::bitsFloat(sign | (fexp << 23) | (mant << 13));
+}
+
+/**
+ * Half-precision storage type.
+ *
+ * Arithmetic promotes to float; assignment rounds back to binary16.
+ * This mirrors an FP16 datapath with higher-precision intermediate
+ * computation.
+ */
+class Half
+{
+  public:
+    Half() : bits_(0) {}
+    explicit Half(float f) : bits_(floatToHalfBits(f)) {}
+
+    /** Construct directly from raw binary16 bits. */
+    static Half
+    fromBits(uint16_t b)
+    {
+        Half h;
+        h.bits_ = b;
+        return h;
+    }
+
+    /** Raw binary16 bit pattern. */
+    uint16_t bits() const { return bits_; }
+
+    /** Exact widening conversion. */
+    float toFloat() const { return halfBitsToFloat(bits_); }
+
+    operator float() const { return toFloat(); }
+
+    /** Sign bit, used by the AdapTiV sign-similarity baseline. */
+    bool signBit() const { return (bits_ & 0x8000u) != 0; }
+
+    Half &
+    operator+=(Half o)
+    {
+        *this = Half(toFloat() + o.toFloat());
+        return *this;
+    }
+
+    bool operator==(const Half &o) const { return bits_ == o.bits_; }
+    bool operator!=(const Half &o) const { return bits_ != o.bits_; }
+
+  private:
+    uint16_t bits_;
+};
+
+/** Round-trip a float through binary16 precision. */
+inline float
+fp16Round(float f)
+{
+    return halfBitsToFloat(floatToHalfBits(f));
+}
+
+} // namespace focus
+
+#endif // FOCUS_COMMON_HALF_H

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Minimal logging and error-exit helpers in the gem5 spirit.
+ *
+ * fatal(): user/configuration error, exits with status 1.
+ * panic(): internal invariant violation, aborts.
+ * warn()/inform(): status messages on stderr.
+ */
+
+#ifndef FOCUS_COMMON_LOGGING_H
+#define FOCUS_COMMON_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace focus
+{
+
+/** Report an unrecoverable user error and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *fmt, Args... args)
+{
+    std::fprintf(stderr, "fatal: ");
+    std::fprintf(stderr, fmt, args...);
+    std::fprintf(stderr, "\n");
+    std::exit(1);
+}
+
+[[noreturn]] inline void
+fatal(const char *msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg);
+    std::exit(1);
+}
+
+/** Report an internal simulator bug and abort(). */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *fmt, Args... args)
+{
+    std::fprintf(stderr, "panic: ");
+    std::fprintf(stderr, fmt, args...);
+    std::fprintf(stderr, "\n");
+    std::abort();
+}
+
+[[noreturn]] inline void
+panic(const char *msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg);
+    std::abort();
+}
+
+/** Non-fatal warning. */
+template <typename... Args>
+void
+warn(const char *fmt, Args... args)
+{
+    std::fprintf(stderr, "warn: ");
+    std::fprintf(stderr, fmt, args...);
+    std::fprintf(stderr, "\n");
+}
+
+inline void
+warn(const char *msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg);
+}
+
+/** Informational status message. */
+template <typename... Args>
+void
+inform(const char *fmt, Args... args)
+{
+    std::fprintf(stderr, "info: ");
+    std::fprintf(stderr, fmt, args...);
+    std::fprintf(stderr, "\n");
+}
+
+inline void
+inform(const char *msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg);
+}
+
+} // namespace focus
+
+#endif // FOCUS_COMMON_LOGGING_H

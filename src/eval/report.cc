@@ -1,0 +1,78 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace focus
+{
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+            widths[i] = std::max(widths[i], row[i].size());
+        }
+    };
+    widen(header_);
+    for (const auto &row : rows_) {
+        widen(row);
+    }
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < widths.size(); ++i) {
+            const std::string &cell = i < row.size() ? row[i] : "";
+            os << cell;
+            if (i + 1 < widths.size()) {
+                os << std::string(widths[i] - cell.size() + 2, ' ');
+            }
+        }
+        os << "\n";
+    };
+    emit(header_);
+    size_t total = 0;
+    for (size_t w : widths) {
+        total += w + 2;
+    }
+    os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+    for (const auto &row : rows_) {
+        emit(row);
+    }
+    return os.str();
+}
+
+std::string
+fmtF(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+fmtPct(double v, int decimals)
+{
+    return fmtF(v * 100.0, decimals);
+}
+
+std::string
+fmtX(double v, int decimals)
+{
+    return fmtF(v, decimals) + "x";
+}
+
+} // namespace focus

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fixed-width table rendering for bench harness output.
+ */
+
+#ifndef FOCUS_EVAL_REPORT_H
+#define FOCUS_EVAL_REPORT_H
+
+#include <string>
+#include <vector>
+
+namespace focus
+{
+
+/**
+ * Simple column-aligned table: set a header, append rows of cells,
+ * render to stdout-friendly text.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with column padding and a separator under the header. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p decimals digits. */
+std::string fmtF(double v, int decimals = 2);
+
+/** Format a percentage (value in [0,1] -> "xx.x"). */
+std::string fmtPct(double v, int decimals = 2);
+
+/** Format with an 'x' multiplier suffix ("2.35x"). */
+std::string fmtX(double v, int decimals = 2);
+
+} // namespace focus
+
+#endif // FOCUS_EVAL_REPORT_H

@@ -1,0 +1,95 @@
+#include "focus/focus_unit.h"
+
+#include "common/logging.h"
+
+namespace focus
+{
+
+FocusUnit::FocusUnit(const FocusConfig &cfg,
+                     std::vector<TokenCoord> coords)
+    : cfg_(cfg), coords_(std::move(coords))
+{
+    active_original_.resize(coords_.size());
+    for (size_t i = 0; i < coords_.size(); ++i) {
+        active_original_[i] = static_cast<int64_t>(i);
+    }
+    stats_.tokens_in = static_cast<int64_t>(coords_.size());
+    stats_.tokens_retained = stats_.tokens_in;
+}
+
+std::vector<int64_t>
+FocusUnit::semanticPrune(const std::vector<Tensor> &head_probs,
+                         int64_t num_text, int64_t k)
+{
+    if (!cfg_.sec_enable) {
+        std::vector<int64_t> all(coords_.size());
+        for (size_t i = 0; i < coords_.size(); ++i) {
+            all[i] = static_cast<int64_t>(i);
+        }
+        return all;
+    }
+    const int64_t s_cur = static_cast<int64_t>(coords_.size());
+    const std::vector<float> importance =
+        secImportance(head_probs, s_cur, num_text);
+
+    std::vector<int64_t> retained;
+    switch (cfg_.sec.select) {
+      case SecSelect::TopK:
+        retained = secTopK(importance, k);
+        break;
+      case SecSelect::TopP:
+        retained = secTopP(importance, cfg_.sec.top_p);
+        break;
+      case SecSelect::Threshold:
+        retained = secThreshold(importance, cfg_.sec.threshold);
+        break;
+    }
+
+    std::vector<TokenCoord> next_coords;
+    std::vector<int64_t> next_orig;
+    next_coords.reserve(retained.size());
+    next_orig.reserve(retained.size());
+    for (int64_t idx : retained) {
+        next_coords.push_back(coords_[static_cast<size_t>(idx)]);
+        next_orig.push_back(
+            active_original_[static_cast<size_t>(idx)]);
+    }
+    coords_ = std::move(next_coords);
+    active_original_ = std::move(next_orig);
+    stats_.tokens_retained = static_cast<int64_t>(coords_.size());
+    return retained;
+}
+
+SicResult
+FocusUnit::concentrate(Tensor &activations) const
+{
+    if (!cfg_.sic_enable) {
+        SicResult res;
+        res.total_vectors = 0;
+        res.unique_vectors = 0;
+        return res;
+    }
+    const int64_t rows = activations.rows();
+    const int64_t visual = static_cast<int64_t>(coords_.size());
+    if (rows < visual) {
+        panic("FocusUnit::concentrate: %ld rows for %ld active "
+              "tokens", static_cast<long>(rows),
+              static_cast<long>(visual));
+    }
+    // Trailing non-visual rows (e.g. text) get sentinel coordinates.
+    std::vector<TokenCoord> gc = coords_;
+    gc.resize(static_cast<size_t>(rows), TokenCoord{-1, 0, 0});
+
+    SicResult res = sicGather(activations, gc, cfg_.sic);
+    stats_.vectors_total += res.total_vectors;
+    stats_.vectors_unique += res.unique_vectors;
+    return res;
+}
+
+OffsetEncoding
+FocusUnit::offsetEncoding() const
+{
+    return encodeOffsets(active_original_);
+}
+
+} // namespace focus

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * FocusUnit: the public facade over the two concentrator submodules,
+ * mirroring the hardware block of Fig. 4 — a modular unit placed
+ * between compute stages, intercepting activations before memory
+ * write-back.
+ *
+ * Library users who do not want to drive SEC/SIC separately can hand
+ * the unit an attention map (to select tokens) and activation tiles
+ * (to concentrate); the unit keeps the running token set, offset
+ * encoding, and cumulative statistics.
+ */
+
+#ifndef FOCUS_FOCUS_FOCUS_UNIT_H
+#define FOCUS_FOCUS_FOCUS_UNIT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "focus/config.h"
+#include "focus/offset_encoding.h"
+#include "focus/sec.h"
+#include "focus/sic.h"
+#include "tensor/tensor.h"
+#include "workload/video_gen.h"
+
+namespace focus
+{
+
+/** Cumulative statistics of a FocusUnit instance. */
+struct FocusUnitStats
+{
+    int64_t tokens_in = 0;       ///< visual tokens seen at attach time
+    int64_t tokens_retained = 0; ///< after the latest semantic prune
+    int64_t vectors_total = 0;   ///< vectors streamed through gather
+    int64_t vectors_unique = 0;  ///< vectors kept after gather
+
+    double
+    tokenKeepFraction() const
+    {
+        return tokens_in == 0
+            ? 1.0
+            : static_cast<double>(tokens_retained) /
+                  static_cast<double>(tokens_in);
+    }
+
+    double
+    vectorUniqueFraction() const
+    {
+        return vectors_total == 0
+            ? 1.0
+            : static_cast<double>(vectors_unique) /
+                  static_cast<double>(vectors_total);
+    }
+};
+
+/**
+ * The Focus unit (SEC + SIC) as one object.
+ *
+ * Usage:
+ *   FocusUnit unit(cfg, coords);           // attach to a token set
+ *   unit.semanticPrune(head_probs, T, k);  // inside attention
+ *   unit.concentrate(activations);         // on each FC output
+ *   unit.offsetEncoding();                 // positions for downstream
+ */
+class FocusUnit
+{
+  public:
+    /**
+     * @param cfg    unit configuration (Tbl. I defaults)
+     * @param coords original (frame,row,col) of every visual token,
+     *               in stream (FHW) order
+     */
+    FocusUnit(const FocusConfig &cfg,
+              std::vector<TokenCoord> coords);
+
+    /**
+     * Semantic Concentrator step: select the retained tokens from
+     * per-head attention maps over [visual ; text] rows.
+     *
+     * @param head_probs softmax(QK^T) per head, (S+T) x (S+T)
+     * @param num_text   trailing text rows (never pruned)
+     * @param k          tokens to keep (SecSelect::TopK), ignored for
+     *                   the adaptive modes
+     * @return indices (into the *current* active set) retained
+     */
+    std::vector<int64_t> semanticPrune(
+        const std::vector<Tensor> &head_probs, int64_t num_text,
+        int64_t k);
+
+    /**
+     * Similarity Concentrator step: gather one activation tensor of
+     * the active tokens in place (text rows may be appended by the
+     * caller with sentinel coordinates).  Returns the gather result
+     * (maps + fractions).
+     */
+    SicResult concentrate(Tensor &activations) const;
+
+    /** Offset encoding of the current active token positions. */
+    OffsetEncoding offsetEncoding() const;
+
+    /** Active token coordinates (after any semantic pruning). */
+    const std::vector<TokenCoord> &activeCoords() const
+    {
+        return coords_;
+    }
+
+    /** Original stream index of each active token. */
+    const std::vector<int64_t> &activeOriginal() const
+    {
+        return active_original_;
+    }
+
+    const FocusUnitStats &stats() const { return stats_; }
+    const FocusConfig &config() const { return cfg_; }
+
+  private:
+    FocusConfig cfg_;
+    std::vector<TokenCoord> coords_;
+    std::vector<int64_t> active_original_;
+    mutable FocusUnitStats stats_;
+};
+
+} // namespace focus
+
+#endif // FOCUS_FOCUS_FOCUS_UNIT_H

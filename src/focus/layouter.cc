@@ -1,0 +1,59 @@
+#include "focus/layouter.h"
+
+#include <array>
+
+#include "common/logging.h"
+
+namespace focus
+{
+
+LayouterBuffer::LayouterBuffer(int grid_w, int64_t depth)
+    : grid_w_(grid_w), depth_(depth),
+      banks_(kLayouterBanks,
+             std::vector<int64_t>(static_cast<size_t>(depth), -1))
+{
+    if (depth <= 0) {
+        panic("LayouterBuffer: depth must be positive");
+    }
+}
+
+int
+LayouterBuffer::store(const TokenCoord &t, int64_t token_id)
+{
+    const int bank = layouterBank(t);
+    const int64_t off = layouterOffset(t, grid_w_) % depth_;
+    banks_[static_cast<size_t>(bank)][static_cast<size_t>(off)] =
+        token_id;
+    return bank;
+}
+
+int
+LayouterBuffer::fetchBlock(const TokenCoord &key, int64_t out_ids[8]) const
+{
+    std::array<bool, kLayouterBanks> used{};
+    int distinct = 0;
+    int member = 0;
+    for (int df = 0; df < 2; ++df) {
+        for (int dr = 0; dr < 2; ++dr) {
+            for (int dc = 0; dc < 2; ++dc, ++member) {
+                const TokenCoord t{key.f - df, key.r - dr, key.c - dc};
+                if (t.f < 0 || t.r < 0 || t.c < 0) {
+                    out_ids[member] = -1;
+                    continue;
+                }
+                const int bank = layouterBank(t);
+                const int64_t off =
+                    layouterOffset(t, grid_w_) % depth_;
+                out_ids[member] = banks_[static_cast<size_t>(bank)]
+                    [static_cast<size_t>(off)];
+                if (!used[static_cast<size_t>(bank)]) {
+                    used[static_cast<size_t>(bank)] = true;
+                    ++distinct;
+                }
+            }
+        }
+    }
+    return distinct;
+}
+
+} // namespace focus

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Convolution-style layouter: conflict-free bank addressing for
+ * block-level similarity matching (Sec. VI-B, Fig. 7).
+ *
+ * Given a token's (frame, row, col) coordinate, the layouter maps it
+ * to one of 8 SRAM banks and an offset such that the 8 members of any
+ * 2x2x2 block land in 8 distinct banks — enabling one-cycle parallel
+ * block fetch with zero data duplication:
+ *
+ *   bank   = (f % 2) * 4 + (r % 2) * 2 + (c % 2)
+ *   offset = floor(r / 2) * ceil(W / 2) + floor(c / 2)
+ *
+ * (The frame pair alternates between the two 4-bank halves; offsets
+ * address within a frame's half.)
+ */
+
+#ifndef FOCUS_FOCUS_LAYOUTER_H
+#define FOCUS_FOCUS_LAYOUTER_H
+
+#include <cstdint>
+
+#include "workload/video_gen.h"
+
+namespace focus
+{
+
+/** Number of SRAM banks in the layouter (2x2x2 block members). */
+constexpr int kLayouterBanks = 8;
+
+/** Bank index for a token coordinate. */
+inline int
+layouterBank(const TokenCoord &t)
+{
+    return (t.f % 2) * 4 + (t.r % 2) * 2 + (t.c % 2);
+}
+
+/** Offset within the bank for a token coordinate in a WxH frame. */
+inline int64_t
+layouterOffset(const TokenCoord &t, int grid_w)
+{
+    const int64_t half_w = (grid_w + 1) / 2;
+    return (static_cast<int64_t>(t.r) / 2) * half_w + (t.c / 2);
+}
+
+/**
+ * Simulated layouter buffer: a window of recent tokens stored across
+ * 8 banks.  Used by the unit tests to demonstrate conflict-free block
+ * fetches and by the timing model to size the 16 KB window buffer.
+ */
+class LayouterBuffer
+{
+  public:
+    /**
+     * @param grid_w frame width in patches (needed by the offset fn)
+     * @param depth  entries per bank
+     */
+    LayouterBuffer(int grid_w, int64_t depth);
+
+    /**
+     * Store a token id at its mapped (bank, offset % depth) slot.
+     * Returns the bank used.
+     */
+    int store(const TokenCoord &t, int64_t token_id);
+
+    /**
+     * Fetch the token ids of an aligned block anchored at @p key
+     * (the block spans f-df, r-dr, c-dc for df,dr,dc in {0,1}).
+     * Returns the number of *distinct banks* touched; a correct
+     * layout always reports the number of valid members, i.e. no two
+     * members share a bank.  Missing members (never stored or evicted)
+     * yield -1 entries.
+     */
+    int fetchBlock(const TokenCoord &key, int64_t out_ids[8]) const;
+
+  private:
+    int grid_w_;
+    int64_t depth_;
+    // banks_[bank][slot] = token id or -1.
+    std::vector<std::vector<int64_t>> banks_;
+};
+
+} // namespace focus
+
+#endif // FOCUS_FOCUS_LAYOUTER_H

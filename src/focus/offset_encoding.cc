@@ -1,0 +1,55 @@
+#include "focus/offset_encoding.h"
+
+#include "common/logging.h"
+
+namespace focus
+{
+
+OffsetEncoding
+encodeOffsets(const std::vector<int64_t> &retained)
+{
+    // An escape entry contributes kEscape - 1 to the running gap and
+    // emits no token, so the literal that terminates a gap is always
+    // in [1, kEscape - 1].
+    constexpr int64_t escape_gap = OffsetEncoding::kEscape - 1;
+
+    OffsetEncoding enc;
+    enc.offsets.reserve(retained.size());
+    int64_t prev = -1;
+    for (int64_t idx : retained) {
+        if (idx <= prev) {
+            panic("encodeOffsets: indices must be strictly increasing "
+                  "(%ld after %ld)", static_cast<long>(idx),
+                  static_cast<long>(prev));
+        }
+        int64_t gap = idx - prev;
+        while (gap > escape_gap) {
+            enc.offsets.push_back(OffsetEncoding::kEscape);
+            gap -= escape_gap;
+        }
+        enc.offsets.push_back(static_cast<uint16_t>(gap));
+        prev = idx;
+    }
+    return enc;
+}
+
+std::vector<int64_t>
+decodeOffsets(const OffsetEncoding &enc)
+{
+    constexpr int64_t escape_gap = OffsetEncoding::kEscape - 1;
+    std::vector<int64_t> out;
+    int64_t pos = -1;
+    int64_t pending = 0;
+    for (uint16_t o : enc.offsets) {
+        if (o == OffsetEncoding::kEscape) {
+            pending += escape_gap;
+            continue;
+        }
+        pos += pending + o;
+        pending = 0;
+        out.push_back(pos);
+    }
+    return out;
+}
+
+} // namespace focus

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Localized offset encoding for retained-token positions (Sec. V-C).
+ *
+ * After semantic pruning, downstream block-level similarity matching
+ * must recover each retained token's (frame, row, col) coordinate.
+ * The SEC emits, per retained token, the offset (gap) to the previous
+ * retained token; positions are reconstructed by a running sum.  The
+ * hardware uses a small per-tile register carrying the prior tile's
+ * last index (Fig. 5(5)); functionally this is a prefix sum, which is
+ * what we implement, plus an explicit tile-aware encoder used by the
+ * tests to check the per-tile handoff logic.
+ */
+
+#ifndef FOCUS_FOCUS_OFFSET_ENCODING_H
+#define FOCUS_FOCUS_OFFSET_ENCODING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace focus
+{
+
+/**
+ * Offset-encoded retained-token positions.
+ *
+ * `offsets[i]` is the gap from the previous retained token's original
+ * index (the first token's offset is measured from -1, so a retained
+ * token 0 has offset 1).  Gaps are stored as uint16; a gap that would
+ * overflow is split by inserting `kEscape` markers, each standing for
+ * a gap contribution of 65534 with no token emitted, so arbitrarily
+ * sparse retention encodes losslessly.
+ */
+struct OffsetEncoding
+{
+    static constexpr uint16_t kEscape = 0xffffu;
+
+    std::vector<uint16_t> offsets;
+
+    /** Encoded size in bytes (2 bytes per entry). */
+    size_t byteSize() const { return offsets.size() * 2; }
+};
+
+/**
+ * Encode ascending original indices of retained tokens.
+ * Indices must be strictly increasing and non-negative.
+ */
+OffsetEncoding encodeOffsets(const std::vector<int64_t> &retained);
+
+/** Decode back to original indices. */
+std::vector<int64_t> decodeOffsets(const OffsetEncoding &enc);
+
+} // namespace focus
+
+#endif // FOCUS_FOCUS_OFFSET_ENCODING_H

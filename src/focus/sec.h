@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Semantic Concentrator (SEC): prompt-aware token importance,
+ * streaming top-k selection, and offset encoding (Sec. V).
+ */
+
+#ifndef FOCUS_FOCUS_SEC_H
+#define FOCUS_FOCUS_SEC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "focus/config.h"
+#include "tensor/tensor.h"
+
+namespace focus
+{
+
+/**
+ * Compute per-image-token importance from per-head attention maps.
+ *
+ * @param attn  vector of per-head softmax(QK^T) matrices, each of
+ *              shape ((M+T) x (M+T)) with image tokens first.
+ * @param num_image  M, number of image tokens (columns 0..M-1).
+ * @param num_text   T, number of text tokens (rows M..M+T-1).
+ * @return length-M importance vector:
+ *         s_j = max over heads and text rows of attn[h](text_i, j).
+ *
+ * This is the streaming importance analyzer of Fig. 5(2); the
+ * functional result is exact (max-reduction order does not matter).
+ */
+std::vector<float> secImportance(const std::vector<Tensor> &attn,
+                                 int64_t num_image, int64_t num_text);
+
+/**
+ * Exact top-k selection: returns the indices of the k largest
+ * importance values, in ascending index order (the order tokens
+ * stream in).  Ties broken toward lower index, matching a stable
+ * hardware comparator chain.
+ */
+std::vector<int64_t> secTopK(const std::vector<float> &importance,
+                             int64_t k);
+
+/**
+ * Top-p selection (the paper's Sec. VII-D future-work variant):
+ * retain the smallest prefix of tokens, taken in descending
+ * importance order, whose cumulative importance reaches @p p of the
+ * total.  Adapts the retained count to the input: a frame with one
+ * salient region keeps few tokens, a busy frame keeps many.
+ * Returns ascending indices; always retains at least one token.
+ */
+std::vector<int64_t> secTopP(const std::vector<float> &importance,
+                             double p);
+
+/**
+ * Threshold selection (post-softmax attention threshold variant):
+ * retain every token whose importance exceeds @p theta times the
+ * maximum importance.  Always retains at least the argmax.
+ */
+std::vector<int64_t> secThreshold(const std::vector<float> &importance,
+                                  double theta);
+
+/**
+ * Cycle-faithful emulation of the a-way streaming bubble sorter of
+ * Fig. 5(4).
+ *
+ * The hardware chains `a` max units into a pipelined bubble-sort lane
+ * and makes ceil(k/a) passes over the M candidates, extracting `a`
+ * more of the top-k per pass (M*k/a cycles total).  This class
+ * reproduces that pass structure so tests can verify it selects
+ * exactly the same set as secTopK, and so the timing model can read
+ * off its cycle count.
+ */
+class StreamingTopK
+{
+  public:
+    StreamingTopK(int lanes, int64_t k);
+
+    /** Run the selection over the full importance vector. */
+    std::vector<int64_t> select(const std::vector<float> &importance);
+
+    /** Cycles consumed by the last select() call: passes * M. */
+    uint64_t cycles() const { return cycles_; }
+
+  private:
+    int lanes_;
+    int64_t k_;
+    uint64_t cycles_;
+};
+
+} // namespace focus
+
+#endif // FOCUS_FOCUS_SEC_H

@@ -1,0 +1,240 @@
+#include "sim/accel_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "sim/dram.h"
+#include "sim/systolic.h"
+
+namespace focus
+{
+
+namespace
+{
+
+/** Bytes of a similarity map for @p vectors compact-index entries. */
+uint64_t
+mapBytes(double vectors)
+{
+    // 2-byte compact index per vector position (10 bits padded).
+    return static_cast<uint64_t>(std::llround(vectors * 2.0));
+}
+
+} // namespace
+
+RunMetrics
+simulateAccelerator(const AccelConfig &cfg, const WorkloadTrace &trace,
+                    const EnergyParams &ep)
+{
+    RunMetrics rm;
+    rm.arch = cfg.name;
+    rm.method = trace.method;
+    rm.freq_ghz = cfg.freq_ghz;
+
+    DramModel dram(cfg.dram);
+    FracSampler psi_dist(&trace.tile_fracs, 1.0);
+
+    const bool is_focus_arch = cfg.arch == ArchKind::Focus;
+    const bool is_cmc = cfg.arch == ArchKind::CMC;
+    const bool is_adaptiv = cfg.arch == ArchKind::AdapTiV;
+
+    // Output-column group that fits the output buffer alongside one
+    // m-tile of fp32 partial sums.
+    const int64_t n_buffered = std::max<int64_t>(
+        cfg.array_cols, cfg.output_buffer / (cfg.m_tile * 4));
+
+    double input_frac_sum = 0.0;
+    double input_frac_den = 0.0;
+
+    // AdapTiV stages the uncompressed token matrix through DRAM once
+    // for the merge unit (read full, write merged).
+    if (is_adaptiv) {
+        const uint64_t full = static_cast<uint64_t>(
+            trace.visual_original) * trace.hidden * 2;
+        const uint64_t merged = static_cast<uint64_t>(trace.visual0) *
+            trace.hidden * 2;
+        rm.dram_codec_extra += full + merged;
+    }
+
+    for (const LayerEvents &layer : trace.layers) {
+        uint64_t layer_compute = 0;
+        uint64_t layer_dram_bytes = 0;
+
+        for (const GemmEvent &g : layer.gemms) {
+            const bool sic_in = g.psi_in < 1.0;
+            FracSampler mean_sampler(nullptr, g.psi_in);
+            FracSampler &sampler =
+                sic_in && !trace.tile_fracs.empty() ? psi_dist
+                                                    : mean_sampler;
+
+            GemmTiming t = timeGemm(cfg, g.m, g.k, g.n, sampler,
+                                    sic_in,
+                                    is_focus_arch && g.gather_out);
+            layer_compute += t.cycles * g.count;
+            rm.stall_scatter += t.stall_scatter * g.count;
+            rm.stall_matcher += t.stall_matcher * g.count;
+            rm.mac_ops += t.mac_ops * g.count;
+            rm.scatter_ops += t.scatter_ops * g.count;
+            rm.matcher_ops += t.matcher_ops * g.count;
+            if (sic_in && rm.tile_lengths.size() < 200000) {
+                rm.tile_lengths.insert(rm.tile_lengths.end(),
+                                       t.tile_lengths.begin(),
+                                       t.tile_lengths.end());
+            }
+
+            // ---- DRAM traffic ----
+            const int64_t m_tiles = ceilDiv(g.m, cfg.m_tile);
+            const double in_elems = static_cast<double>(g.m) * g.k;
+            const double out_elems = static_cast<double>(g.m) * g.n;
+
+            uint64_t in_bytes = 0, w_bytes = 0, out_bytes = 0,
+                map_in = 0, map_out = 0, codec_extra = 0;
+            if (g.site == GemmSite::Qk || g.site == GemmSite::Pv) {
+                // Fused flash-style attention: Q read once, K (and V
+                // in PV) streamed per query m-tile; scores stay
+                // on-chip, only the PV output is written.
+                in_bytes = static_cast<uint64_t>(in_elems * 2.0);
+                w_bytes = static_cast<uint64_t>(g.k) * g.n * 2 *
+                    m_tiles;
+                out_bytes = g.site == GemmSite::Pv
+                    ? static_cast<uint64_t>(out_elems * 2.0 *
+                                            (g.gather_out ? g.psi_out
+                                                          : 1.0))
+                    : 0;
+                if (g.gather_out && g.site == GemmSite::Pv) {
+                    map_out = mapBytes(out_elems /
+                                       cfg.vector_size);
+                }
+            } else {
+                const int64_t n_groups = ceilDiv(g.n, n_buffered);
+                in_bytes = static_cast<uint64_t>(
+                    in_elems * 2.0 * g.psi_in * n_groups);
+                if (g.psi_in < 1.0) {
+                    map_in = mapBytes(in_elems / cfg.vector_size) *
+                        n_groups;
+                }
+                w_bytes = static_cast<uint64_t>(g.k) * g.n * 2 *
+                    m_tiles;
+                out_bytes = static_cast<uint64_t>(
+                    out_elems * 2.0 *
+                    (g.gather_out ? g.psi_out : 1.0));
+                if (g.gather_out) {
+                    map_out = mapBytes(out_elems / cfg.vector_size);
+                }
+                const bool cmc_condensed_site =
+                    g.site == GemmSite::OProj ||
+                    g.site == GemmSite::GateUp ||
+                    g.site == GemmSite::Down;
+                if (is_cmc && cmc_condensed_site) {
+                    // Codec round trip (Fig. 3(a)): the codec's
+                    // frame-based matching needs the *full-resolution*
+                    // token stream, so the tensor is scattered back to
+                    // original token count, staged in DRAM, read by
+                    // the codec, and re-written condensed.  Extra vs.
+                    // dense: one full-resolution write + read.
+                    const double full_elems =
+                        static_cast<double>(trace.visual_original +
+                                            trace.text) * g.n;
+                    codec_extra = static_cast<uint64_t>(
+                        2.0 * full_elems * 2.0);
+                    rm.merge_ops += full_elems;
+                }
+            }
+
+            rm.dram_act_read += in_bytes * g.count;
+            rm.dram_act_write += out_bytes * g.count;
+            rm.dram_weights += w_bytes * g.count;
+            rm.dram_maps += (map_in + map_out) * g.count;
+            rm.dram_codec_extra += codec_extra * g.count;
+            layer_dram_bytes += (in_bytes + out_bytes + w_bytes +
+                                 map_in + map_out + codec_extra) *
+                g.count;
+
+            // ---- buffer traffic ----
+            rm.ib_bytes += in_bytes * g.count;
+            rm.wb_bytes += w_bytes * g.count;
+            // fp32 read-modify-write per output element per k-subtile.
+            rm.ob_bytes += static_cast<uint64_t>(
+                out_elems * 8.0 *
+                ceilDiv<int64_t>(g.k, cfg.array_rows)) *
+                g.count;
+
+            // Fig. 12(b): mean input matrix size vs. dense.
+            const double dense_rows = static_cast<double>(
+                trace.visual_original + trace.text);
+            input_frac_sum += static_cast<double>(g.m) * g.psi_in /
+                dense_rows;
+            input_frac_den += 1.0;
+        }
+
+        // ---- baseline merge-unit activity ----
+        if (is_adaptiv) {
+            // AdapTiV re-evaluates sign-similarity merges on every
+            // layer's token stream (MICRO'24 design), a major power
+            // contributor (Tbl. III: 1176 mW vs the 720 mW array).
+            rm.merge_ops += static_cast<double>(layer.rowsIn()) *
+                trace.hidden;
+        }
+
+        // ---- SFU activity ----
+        const double rows_in = static_cast<double>(layer.rowsIn());
+        const double rows_out = static_cast<double>(layer.rowsOut());
+        rm.sfu_ops += rows_in * rows_in * trace.heads * 3.0; // softmax
+        rm.sfu_ops += 2.0 * rows_in * trace.hidden * 2.0;    // rmsnorm
+        rm.sfu_ops += rows_out * trace.ffn_inner * 2.0;      // swiglu
+
+        // ---- SEC ----
+        if (layer.sec_topk > 0 && is_focus_arch) {
+            rm.sec_ops += static_cast<double>(layer.text) *
+                rows_in * trace.heads;   // streaming max
+            rm.sec_ops += rows_in *
+                ceilDiv<int64_t>(layer.sec_topk, cfg.sec_lanes);
+            const uint64_t stall = secSorterStall(
+                cfg, layer.visual_in, layer.text, trace.head_dim,
+                trace.heads, layer.sec_topk);
+            rm.stall_sec += stall;
+            layer_compute += stall;
+        }
+
+        // ---- compute / DMA overlap ----
+        const uint64_t dram_cycles = dram.streamCycles(layer_dram_bytes);
+        dram.addStreamEnergy(layer_dram_bytes);
+        rm.cycles += std::max(layer_compute, dram_cycles);
+    }
+
+    rm.mean_input_frac = input_frac_den > 0.0
+        ? input_frac_sum / input_frac_den : 1.0;
+
+    // ---- energy composition ----
+    rm.energy.core = rm.mac_ops * ep.e_mac_pj * 1e-12 +
+        ep.p_core_leak_mw * 1e-3 * rm.seconds();
+    rm.energy.buffer =
+        static_cast<double>(rm.ib_bytes) * ep.e_ib_pj_per_byte * 1e-12 +
+        static_cast<double>(rm.wb_bytes) * ep.e_wb_pj_per_byte * 1e-12 +
+        static_cast<double>(rm.ob_bytes) * ep.e_ob_pj_per_byte * 1e-12;
+    rm.energy.sfu = rm.sfu_ops * ep.e_sfu_pj_per_op * 1e-12;
+    rm.energy.sec = rm.sec_ops * ep.e_sec_pj_per_op * 1e-12;
+    rm.energy.sic = (rm.matcher_ops + rm.scatter_ops) *
+        ep.e_sic_pj_per_op * 1e-12;
+    rm.energy.merge = rm.merge_ops * ep.e_merge_pj_per_op * 1e-12;
+    if (is_cmc) {
+        rm.energy.merge += static_cast<double>(rm.dram_codec_extra) *
+            ep.e_codec_pj_per_byte * 1e-12;
+        rm.energy.merge += ep.p_cmc_codec_mw * 1e-3 * rm.seconds();
+    }
+    if (is_adaptiv) {
+        rm.energy.merge += ep.p_adaptiv_merge_mw * 1e-3 * rm.seconds();
+    }
+    rm.energy.dram = dram.dynamicEnergyJ() +
+        dram.backgroundEnergyJ(rm.cycles, cfg.freq_ghz);
+
+    const double denom = static_cast<double>(rm.cycles) *
+        cfg.array_rows * cfg.array_cols;
+    rm.utilization = denom > 0.0 ? rm.mac_ops / denom : 0.0;
+
+    return rm;
+}
+
+} // namespace focus

@@ -1,0 +1,45 @@
+#include "sim/area.h"
+
+namespace focus
+{
+
+std::map<std::string, double>
+areaBreakdown(const AccelConfig &cfg, const AreaParams &p)
+{
+    std::map<std::string, double> parts;
+    const double pes = static_cast<double>(cfg.array_rows) *
+        cfg.array_cols;
+    parts["systolic_array"] = pes * p.pe_mm2;
+    parts["buffer"] =
+        static_cast<double>(cfg.totalBufferBytes()) / 1024.0 *
+        p.sram_mm2_per_kb;
+    parts["sfu"] = p.sfu_mm2;
+    switch (cfg.arch) {
+      case ArchKind::Focus:
+        parts["sec"] = p.sec_mm2;
+        parts["sic"] = p.sic_mm2;
+        break;
+      case ArchKind::AdapTiV:
+        parts["merge_unit"] = p.adaptiv_merge_mm2;
+        break;
+      case ArchKind::CMC:
+        parts["codec"] = p.cmc_codec_mm2;
+        break;
+      case ArchKind::SystolicArray:
+        break;
+    }
+    return parts;
+}
+
+double
+totalArea(const AccelConfig &cfg, const AreaParams &p)
+{
+    double total = 0.0;
+    for (const auto &[name, mm2] : areaBreakdown(cfg, p)) {
+        (void)name;
+        total += mm2;
+    }
+    return total;
+}
+
+} // namespace focus

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Area model (28 nm, post-synthesis-style constants).
+ *
+ * Component areas are fitted to the paper's Tbl. III / Fig. 9(c):
+ * the vanilla 32x32 systolic design (array + 734 KB buffers + SFU)
+ * comes to ~3.12 mm^2, Focus adds SEC (1.9%) + SIC (0.8%) for
+ * ~3.21 mm^2, AdapTiV and CMC pay for their merge/codec units and
+ * larger buffers.
+ */
+
+#ifndef FOCUS_SIM_AREA_H
+#define FOCUS_SIM_AREA_H
+
+#include <map>
+#include <string>
+
+#include "sim/accel_config.h"
+
+namespace focus
+{
+
+/** Per-component area constants in mm^2. */
+struct AreaParams
+{
+    double pe_mm2 = 1.41 / 1024.0;      ///< one FP16/FP32 MAC PE
+    double sram_mm2_per_kb = 1.38 / 734.0;
+    double sfu_mm2 = 0.32;
+    double sec_mm2 = 0.061;             ///< analyzer + sorter + encoder
+    double sic_mm2 = 0.026;             ///< matcher + maps + scatter
+    double adaptiv_merge_mm2 = 0.21;
+    double cmc_codec_mm2 = 0.145;
+};
+
+/** Component name -> mm^2 for an architecture. */
+std::map<std::string, double> areaBreakdown(const AccelConfig &cfg,
+                                            const AreaParams &p = {});
+
+/** Total on-chip area in mm^2. */
+double totalArea(const AccelConfig &cfg, const AreaParams &p = {});
+
+} // namespace focus
+
+#endif // FOCUS_SIM_AREA_H

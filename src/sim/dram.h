@@ -1,0 +1,91 @@
+/**
+ * @file
+ * DDR4 DRAM model (DRAMsim3-lite).
+ *
+ * Two operating modes share one set of device parameters:
+ *
+ *  - Request mode: per-(channel, bank) open-row state with
+ *    tRCD/tRP/tCL/tBL timing.  Used for unit-level validation and for
+ *    small workloads.
+ *  - Stream mode: analytic cost of a large contiguous transfer,
+ *    calibrated against request mode (row-hit streaming with bank
+ *    interleaving hides activation latency; refresh derates peak).
+ *
+ * Energy follows device-level accounting: activates + data movement
+ * + background power (added by the caller from elapsed time).
+ */
+
+#ifndef FOCUS_SIM_DRAM_H
+#define FOCUS_SIM_DRAM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "sim/accel_config.h"
+
+namespace focus
+{
+
+/** DDR4 device model. */
+class DramModel
+{
+  public:
+    explicit DramModel(const DramConfig &cfg);
+
+    /**
+     * Request mode: access @p bytes starting at @p addr.  Returns the
+     * channel busy cycles consumed (the caller may overlap across
+     * channels).  Updates open-row state and energy counters.
+     */
+    uint64_t access(uint64_t addr, uint64_t bytes, bool write);
+
+    /**
+     * Stream mode: cycles to move @p bytes of contiguous data across
+     * all channels at streaming efficiency.
+     */
+    uint64_t streamCycles(uint64_t bytes) const;
+
+    /**
+     * Streaming efficiency: fraction of peak bandwidth sustained for
+     * large contiguous transfers (row-hit dominated).
+     */
+    double streamEfficiency() const;
+
+    /** Account the energy of a streamed transfer of @p bytes. */
+    void addStreamEnergy(uint64_t bytes);
+
+    /** Dynamic DRAM energy accumulated so far, in joules. */
+    double dynamicEnergyJ() const;
+
+    /** Background energy for @p cycles of wall-clock, in joules. */
+    double backgroundEnergyJ(uint64_t cycles, double freq_ghz) const;
+
+    /** Total bytes moved (reads + writes). */
+    uint64_t totalBytes() const { return bytes_moved_; }
+
+    const DramConfig &config() const { return cfg_; }
+
+    StatSet stats;
+
+    void reset();
+
+  private:
+    struct BankState
+    {
+        int64_t open_row = -1;
+    };
+
+    DramConfig cfg_;
+    std::vector<BankState> banks_; ///< [channel * banks + bank]
+    uint64_t bytes_moved_;
+    uint64_t activates_;
+
+    /** Decompose an address into (channel, bank, row). */
+    void mapAddress(uint64_t addr, int &channel, int &bank,
+                    int64_t &row) const;
+};
+
+} // namespace focus
+
+#endif // FOCUS_SIM_DRAM_H

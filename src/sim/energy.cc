@@ -1,0 +1,4 @@
+// Energy model is header-only aside from this anchor translation unit;
+// the composition happens in accel_model.cc where activity counters
+// live.
+#include "sim/energy.h"

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Energy model: activity counters x per-operation constants.
+ *
+ * Constants are representative 28 nm values (MAC and SRAM numbers in
+ * the Horowitz range, DRAM at device+IO cost) chosen so the *dense
+ * systolic baseline* reproduces the paper's Fig. 9(c) power-breakdown
+ * shape; all architectures share the same constants, so the reported
+ * ratios between methods are produced by the activity model, not by
+ * the constants.
+ */
+
+#ifndef FOCUS_SIM_ENERGY_H
+#define FOCUS_SIM_ENERGY_H
+
+#include <cstdint>
+
+namespace focus
+{
+
+/** Per-operation energy constants. */
+struct EnergyParams
+{
+    double e_mac_pj = 0.90;          ///< FP16 mul + FP32 acc
+    double e_ib_pj_per_byte = 2.0;  ///< input buffer access
+    double e_wb_pj_per_byte = 1.7;  ///< weight buffer access
+    double e_ob_pj_per_byte = 1.2;  ///< output/accumulator access
+    double e_sfu_pj_per_op = 30.0;    ///< exp/div/sqrt-class op
+    double e_sec_pj_per_op = 0.8;   ///< comparator / max op
+    double e_sic_pj_per_op = 1.0;   ///< matcher element op
+    double e_merge_pj_per_op = 100.0; ///< baseline merge-unit op
+    double e_codec_pj_per_byte = 200.0; ///< CMC motion search + codec
+    double p_core_leak_mw = 80.0;    ///< on-chip static power
+
+    /**
+     * Merge/codec unit block power for the baseline accelerators.
+     * Their published on-chip powers (1176 mW AdapTiV, 832 mW CMC vs
+     * the 720 mW vanilla array, Tbl. III) are dominated by these
+     * always-active units, far beyond what per-comparison energy
+     * accounts for; we model them as constant-power blocks.
+     */
+    double p_adaptiv_merge_mw = 430.0;
+    double p_cmc_codec_mw = 95.0;
+};
+
+/** Energy by component, in joules. */
+struct EnergyBreakdown
+{
+    double core = 0.0;    ///< PE array MACs + leakage share
+    double buffer = 0.0;  ///< on-chip SRAM
+    double sfu = 0.0;     ///< special function unit
+    double sec = 0.0;     ///< semantic concentrator
+    double sic = 0.0;     ///< similarity concentrator (+ scatter)
+    double merge = 0.0;   ///< baseline merge/codec units
+    double dram = 0.0;    ///< off-chip dynamic + background
+
+    double
+    total() const
+    {
+        return core + buffer + sfu + sec + sic + merge + dram;
+    }
+
+    double
+    onChip() const
+    {
+        return core + buffer + sfu + sec + sic + merge;
+    }
+};
+
+} // namespace focus
+
+#endif // FOCUS_SIM_ENERGY_H

@@ -1,0 +1,39 @@
+#include "sim/gpu_model.h"
+
+#include <algorithm>
+
+namespace focus
+{
+
+double
+gpuSeconds(const WorkloadTrace &trace, const GpuConfig &cfg,
+           bool token_reduced)
+{
+    double seconds = 0.0;
+    for (const LayerEvents &layer : trace.layers) {
+        for (const GemmEvent &g : layer.gemms) {
+            // GPUs cannot exploit vector-level (psi) sparsity; only
+            // token-count reduction shows up in m.
+            const double flops = 2.0 * static_cast<double>(g.m) *
+                g.k * g.n * g.count;
+            const double bytes =
+                (static_cast<double>(g.m) * g.k +
+                 static_cast<double>(g.k) * g.n +
+                 static_cast<double>(g.m) * g.n) * 2.0 * g.count;
+            const bool attn = g.site == GemmSite::Qk ||
+                g.site == GemmSite::Pv;
+            const double util = attn ? cfg.util_attn : cfg.util_gemm;
+            const double t_compute =
+                flops / (cfg.peak_tflops * 1e12 * util);
+            const double t_mem = bytes / (cfg.mem_bw_gbps * 1e9);
+            seconds += std::max(t_compute, t_mem);
+        }
+        seconds += cfg.layer_overhead_us * 1e-6;
+    }
+    if (token_reduced) {
+        seconds /= cfg.reduction_efficiency;
+    }
+    return seconds;
+}
+
+} // namespace focus

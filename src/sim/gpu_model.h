@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Analytic GPU model (Jetson Orin Nano class) used for the paper's
+ * GPU and GPU+FrameFusion comparison points.
+ *
+ * A roofline per GEMM: time = max(flops / (peak * util),
+ * bytes / bandwidth) plus a per-layer kernel-launch/software
+ * overhead.  Token-reduction baselines run on a reduced trace but pay
+ * an irregularity derate, reflecting the paper's observation that
+ * fine-grained sparsity is hard to exploit on tensor cores.
+ */
+
+#ifndef FOCUS_SIM_GPU_MODEL_H
+#define FOCUS_SIM_GPU_MODEL_H
+
+#include "sim/trace.h"
+
+namespace focus
+{
+
+/** Device constants (Jetson Orin Nano class). */
+struct GpuConfig
+{
+    double peak_tflops = 2.5;        ///< dense FP16 tensor throughput
+    double mem_bw_gbps = 68.0;
+    double util_gemm = 0.27;         ///< achievable GEMM efficiency
+    double util_attn = 0.11;         ///< attention kernels
+    double reduction_efficiency = 0.95; ///< irregular token sparsity
+    double layer_overhead_us = 50.0; ///< launches, softmax glue, etc.
+};
+
+/** End-to-end latency in seconds for a trace on the GPU. */
+double gpuSeconds(const WorkloadTrace &trace, const GpuConfig &cfg,
+                  bool token_reduced);
+
+} // namespace focus
+
+#endif // FOCUS_SIM_GPU_MODEL_H

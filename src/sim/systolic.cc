@@ -1,0 +1,124 @@
+#include "sim/systolic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace focus
+{
+
+double
+GemmTiming::utilization(const AccelConfig &cfg) const
+{
+    if (cycles == 0) {
+        return 0.0;
+    }
+    return mac_ops / (static_cast<double>(cycles) * cfg.array_rows *
+                      cfg.array_cols);
+}
+
+GemmTiming
+timeGemm(const AccelConfig &cfg, int64_t m, int64_t k, int64_t n,
+         FracSampler &psi, bool sic_input, bool gather_out)
+{
+    GemmTiming t;
+    if (m <= 0 || k <= 0 || n <= 0) {
+        return t;
+    }
+    const int64_t a = cfg.array_cols;
+    const int64_t b = cfg.array_rows;
+    const int64_t fill = (a - 1) + (b - 1);
+
+    const int64_t m_tiles = ceilDiv(m, cfg.m_tile);
+    const int64_t k_subs = ceilDiv(k, b);
+    const int64_t n_tiles = ceilDiv(n, a);
+
+    uint64_t cycles = 0;
+    for (int64_t mt = 0; mt < m_tiles; ++mt) {
+        const int64_t m_rows = std::min(cfg.m_tile, m - mt * cfg.m_tile);
+        for (int64_t nt = 0; nt < n_tiles; ++nt) {
+            const int64_t n_eff = std::min(a, n - nt * a);
+            // First weight sub-tile load is exposed; the rest are
+            // double-buffered behind compute.
+            uint64_t tile_cycles = static_cast<uint64_t>(b);
+            for (int64_t ks = 0; ks < k_subs; ++ks) {
+                const int64_t k_eff = std::min(b, k - ks * b);
+                int64_t p = m_rows;
+                if (sic_input) {
+                    const double f = clamp(psi.next(), 0.0, 1.0);
+                    p = std::max<int64_t>(1, static_cast<int64_t>(
+                        std::llround(f * static_cast<double>(m_rows))));
+                    t.tile_lengths.push_back(p);
+                }
+                const uint64_t compute =
+                    static_cast<uint64_t>(p) + fill;
+                uint64_t sub = compute;
+                if (sic_input) {
+                    // Scatter: every partial sum is redistributed to
+                    // all m_rows original rows through the W-wide
+                    // accumulator (Fig. 8(2)); with W = 2a = 64 this
+                    // hides behind compute at typical concentration
+                    // (Fig. 10(d): ~5% over a 160-lane design, while
+                    // 32 lanes stall ~1.5x).
+                    const uint64_t scatter = ceilDiv<uint64_t>(
+                        static_cast<uint64_t>(m_rows) * n_eff,
+                        static_cast<uint64_t>(
+                            std::max(cfg.scatter_accumulators, 1)));
+                    t.scatter_ops +=
+                        static_cast<double>(m_rows) * n_eff;
+                    if (scatter > sub) {
+                        t.stall_scatter += scatter - sub;
+                        sub = scatter;
+                    }
+                }
+                t.mac_ops += static_cast<double>(p) * k_eff * n_eff;
+                tile_cycles += sub;
+            }
+            if (gather_out) {
+                // Matcher: up to 7 compare dot-products + 1 norm per
+                // output vector, one vector element per cycle per
+                // matcher; overlapped with the tile's GEMM time.
+                const uint64_t matcher = ceilDiv<uint64_t>(
+                    8ull * static_cast<uint64_t>(m_rows),
+                    static_cast<uint64_t>(std::max(cfg.sic_matchers,
+                                                   1)));
+                t.matcher_ops += 8.0 * static_cast<double>(m_rows) *
+                    n_eff;
+                if (matcher > tile_cycles) {
+                    t.stall_matcher += matcher - tile_cycles;
+                    tile_cycles = matcher;
+                }
+            }
+            cycles += tile_cycles;
+        }
+    }
+    t.cycles = cycles;
+    return t;
+}
+
+uint64_t
+secSorterStall(const AccelConfig &cfg, int64_t m_tokens, int64_t text,
+               int64_t head_dim, int64_t heads, int64_t topk)
+{
+    if (topk <= 0) {
+        return 0;
+    }
+    const int64_t a = cfg.sec_lanes;
+    const int64_t b = cfg.array_rows;
+    // Sorter: ceil(k/a) passes of M candidates each (Fig. 5(4)).
+    const uint64_t sorter = static_cast<uint64_t>(m_tokens) *
+        ceilDiv(topk, a);
+    // Overlap window: the image-query attention GEMM,
+    // M(M+T)h/(a*b) cycles per head across all heads (Fig. 5 bottom).
+    const double window = static_cast<double>(m_tokens) *
+        (m_tokens + text) * head_dim * heads /
+        (static_cast<double>(a) * b);
+    if (static_cast<double>(sorter) <= window) {
+        return 0;
+    }
+    return sorter - static_cast<uint64_t>(window);
+}
+
+} // namespace focus

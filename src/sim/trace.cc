@@ -1,0 +1,193 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace focus
+{
+
+const char *
+gemmSiteName(GemmSite s)
+{
+    switch (s) {
+      case GemmSite::Qkv:
+        return "qkv";
+      case GemmSite::Qk:
+        return "qk";
+      case GemmSite::Pv:
+        return "pv";
+      case GemmSite::OProj:
+        return "oproj";
+      case GemmSite::GateUp:
+        return "gate_up";
+      case GemmSite::Down:
+        return "down";
+    }
+    return "?";
+}
+
+double
+WorkloadTrace::totalMacs() const
+{
+    double total = 0.0;
+    for (const LayerEvents &l : layers) {
+        for (const GemmEvent &g : l.gemms) {
+            total += g.macs();
+        }
+    }
+    return total;
+}
+
+namespace
+{
+
+/** Value of @p v at reduced layer mapped from full layer index. */
+double
+mapLayer(const std::vector<double> &v, int l_full, int64_t full_layers,
+         double fallback)
+{
+    if (v.empty()) {
+        return fallback;
+    }
+    const size_t idx = static_cast<size_t>(
+        std::min<int64_t>(static_cast<int64_t>(v.size()) - 1,
+                          static_cast<int64_t>(v.size()) * l_full /
+                              full_layers));
+    return v[idx];
+}
+
+} // namespace
+
+WorkloadTrace
+buildTrace(const ModelProfile &model, const DatasetProfile &dataset,
+           const MethodConfig &method, const FunctionalAggregate &agg)
+{
+    WorkloadTrace tr;
+    tr.model = model.name;
+    tr.dataset = dataset.name;
+    tr.method = method.name();
+    tr.text = dataset.full_text_tokens;
+    tr.hidden = model.full_hidden;
+    tr.heads = model.full_heads;
+    tr.head_dim = model.full_head_dim;
+    tr.ffn_inner = model.full_ffn_inner;
+    tr.visual_original = static_cast<int64_t>(std::llround(
+        model.visual_token_scale *
+        static_cast<double>(dataset.full_visual_tokens)));
+    tr.tile_fracs = agg.tile_fracs;
+    tr.functional_sparsity = agg.sparsity;
+
+    const bool is_focus = method.kind == MethodKind::Focus;
+    const bool sec_on = is_focus && method.focus.sec_enable;
+    const bool sic_on = is_focus && method.focus.sic_enable;
+
+    const int64_t L = model.full_layers;
+    const int64_t m_vis = tr.visual_original;
+    const int64_t t_cnt = dataset.full_text_tokens;
+
+    // Input-side reduction for the token-merging baselines: the
+    // measured initial keep fraction.
+    double input_keep = 1.0;
+    if (!is_focus && !agg.keep_in.empty()) {
+        input_keep = agg.keep_in.front();
+    }
+    tr.visual0 = static_cast<int64_t>(
+        std::llround(input_keep * static_cast<double>(m_vis)));
+
+    int64_t vis_cur = tr.visual0;
+    for (int64_t l = 0; l < L; ++l) {
+        LayerEvents le;
+        le.text = t_cnt;
+        le.visual_in = vis_cur;
+
+        // Token counts after this layer.
+        int64_t vis_next = vis_cur;
+        if (sec_on && method.focus.sec.select == SecSelect::TopK) {
+            // Fixed schedule: exact Tbl. I retention at full depth.
+            const double keep = model.retentionAfterLayer(
+                static_cast<int>(l), static_cast<int>(L));
+            const int64_t target = static_cast<int64_t>(
+                std::llround(keep * static_cast<double>(m_vis)));
+            if (target < vis_cur &&
+                model.pruneAtLayer(static_cast<int>(l),
+                                   static_cast<int>(L))) {
+                vis_next = target;
+                le.sec_topk = target;
+            }
+        } else if (sec_on) {
+            // Adaptive selection (top-p / threshold): token counts
+            // come from the measured per-layer keep fractions.
+            const double keep_out = mapLayer(
+                agg.keep_out, static_cast<int>(l), L, 1.0);
+            const int64_t target = static_cast<int64_t>(
+                std::llround(keep_out * static_cast<double>(m_vis)));
+            if (target < vis_cur) {
+                vis_next = target;
+                le.sec_topk = target;
+            }
+        }
+        le.visual_out = vis_next;
+
+        const int64_t rows_in = le.rowsIn();
+        const int64_t rows_out = le.rowsOut();
+        const int lf = static_cast<int>(l);
+
+        const double psi_qkv = sic_on && l > 0
+            ? mapLayer(agg.psi_qkv, lf, L, 1.0) : 1.0;
+        const double psi_oproj = sic_on
+            ? mapLayer(agg.psi_oproj, lf, L, 1.0) : 1.0;
+        const double psi_ffn = sic_on
+            ? mapLayer(agg.psi_ffn, lf, L, 1.0) : 1.0;
+        const double psi_down = sic_on
+            ? mapLayer(agg.psi_down, lf, L, 1.0) : 1.0;
+        // The gathered output of the FFN feeds the next layer's QKV.
+        const double psi_next_qkv = sic_on
+            ? mapLayer(agg.psi_qkv,
+                       static_cast<int>(std::min<int64_t>(l + 1, L - 1)),
+                       L, 1.0)
+            : 1.0;
+
+        // Q/K/V projections.
+        le.gemms.push_back(GemmEvent{GemmSite::Qkv, rows_in, tr.hidden,
+                                     tr.hidden, 3, psi_qkv, false, 1.0});
+        // Attention scores (per head).
+        le.gemms.push_back(GemmEvent{GemmSite::Qk, rows_in,
+                                     tr.head_dim, rows_in,
+                                     static_cast<int>(tr.heads), 1.0,
+                                     false, 1.0});
+        // PV: only surviving rows are computed (Sec. V-C); output is
+        // gathered (footnote 1).
+        le.gemms.push_back(GemmEvent{GemmSite::Pv, rows_out, rows_in,
+                                     tr.head_dim,
+                                     static_cast<int>(tr.heads), 1.0,
+                                     sic_on, psi_oproj});
+        // O projection; its (post-residual) output is gathered.
+        le.gemms.push_back(GemmEvent{GemmSite::OProj, rows_out,
+                                     tr.hidden, tr.hidden, 1,
+                                     psi_oproj, sic_on, psi_ffn});
+        // FFN gate/up; inner activations gathered.
+        le.gemms.push_back(GemmEvent{GemmSite::GateUp, rows_out,
+                                     tr.hidden, tr.ffn_inner, 2,
+                                     psi_ffn, sic_on, psi_down});
+        // FFN down; the block output feeds the next layer's QKV.
+        le.gemms.push_back(GemmEvent{GemmSite::Down, rows_out,
+                                     tr.ffn_inner, tr.hidden, 1,
+                                     psi_down, sic_on, psi_next_qkv});
+
+        tr.layers.push_back(std::move(le));
+        vis_cur = vis_next;
+    }
+    return tr;
+}
+
+WorkloadTrace
+buildDenseTrace(const ModelProfile &model, const DatasetProfile &dataset)
+{
+    FunctionalAggregate agg;
+    MethodConfig dense = MethodConfig::dense();
+    return buildTrace(model, dataset, dense, agg);
+}
+
+} // namespace focus

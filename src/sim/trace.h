@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Full-scale workload traces for the timing model.
+ *
+ * A trace describes, layer by layer at *paper scale* (3584 hidden, 28
+ * layers, ~6.3k visual tokens), every GEMM the accelerator executes
+ * together with the concentration state: active token rows, the
+ * unique-vector fraction of the (gathered) input stream, and whether
+ * the output passes through Similarity Gather.  Traces are built from
+ * functional measurements at reduced scale (see eval/), with SEC
+ * token counts reproduced exactly from the Tbl. I retention schedule.
+ */
+
+#ifndef FOCUS_SIM_TRACE_H
+#define FOCUS_SIM_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vlm/method.h"
+#include "workload/profiles.h"
+
+namespace focus
+{
+
+/** GEMM site within a transformer layer. */
+enum class GemmSite
+{
+    Qkv,    ///< Q/K/V projections (count = 3)
+    Qk,     ///< attention scores (per head)
+    Pv,     ///< attention values (per head)
+    OProj,  ///< output projection
+    GateUp, ///< FFN gate and up (count = 2)
+    Down,   ///< FFN down
+};
+
+const char *gemmSiteName(GemmSite s);
+
+/** One GEMM execution (possibly replicated `count` times). */
+struct GemmEvent
+{
+    GemmSite site = GemmSite::Qkv;
+    int64_t m = 0;  ///< token rows
+    int64_t k = 0;  ///< inner dim
+    int64_t n = 0;  ///< output dim
+    int count = 1;  ///< identical instances (heads, gate+up, ...)
+
+    /** Unique-vector fraction of the input stream (1 = dense). */
+    double psi_in = 1.0;
+    /** Output passes through Similarity Gather. */
+    bool gather_out = false;
+    /** Unique fraction of the gathered output (write compression). */
+    double psi_out = 1.0;
+
+    double
+    macs() const
+    {
+        return static_cast<double>(m) * k * n * count * psi_in;
+    }
+};
+
+/** One transformer layer's events. */
+struct LayerEvents
+{
+    int64_t visual_in = 0;
+    int64_t visual_out = 0;
+    int64_t text = 0;
+    /** Top-k size if SEC prunes at this layer, else 0. */
+    int64_t sec_topk = 0;
+    std::vector<GemmEvent> gemms;
+
+    int64_t rowsIn() const { return visual_in + text; }
+    int64_t rowsOut() const { return visual_out + text; }
+};
+
+/** A complete accelerator workload. */
+struct WorkloadTrace
+{
+    std::string model;
+    std::string dataset;
+    std::string method;
+
+    int64_t visual0 = 0;  ///< visual tokens entering layer 0
+    int64_t visual_original = 0; ///< before any input reduction
+    int64_t text = 0;
+    int64_t hidden = 0;
+    int64_t heads = 0;
+    int64_t head_dim = 0;
+    int64_t ffn_inner = 0;
+
+    std::vector<LayerEvents> layers;
+
+    /**
+     * Empirical unique-fraction distribution over (tile, slice)
+     * pairs, pooled across layers; the timing model samples it
+     * round-robin for per-tile variation (Fig. 13).
+     */
+    std::vector<double> tile_fracs;
+
+    /** Functional computation sparsity (cross-check). */
+    double functional_sparsity = 0.0;
+
+    /** Total GEMM MACs of the trace. */
+    double totalMacs() const;
+};
+
+/**
+ * Per-reduced-layer aggregates measured by the functional runs; the
+ * bridge between the functional model and the full-scale trace.
+ */
+struct FunctionalAggregate
+{
+    int reduced_layers = 0;
+
+    /** Mean active-visual fraction entering / leaving each layer. */
+    std::vector<double> keep_in;
+    std::vector<double> keep_out;
+
+    /** Mean unique-vector fraction per gather site per layer. */
+    std::vector<double> psi_qkv;
+    std::vector<double> psi_oproj;
+    std::vector<double> psi_ffn;
+    std::vector<double> psi_down;
+
+    /** Pooled per-(tile,slice) unique fractions. */
+    std::vector<double> tile_fracs;
+
+    double accuracy = 0.0;
+    double sparsity = 0.0;
+    int64_t samples = 0;
+};
+
+/**
+ * Build a full-scale trace.
+ *
+ * For MethodKind::Focus the per-layer token counts follow the exact
+ * Tbl. I retention schedule at full depth; psi values map from the
+ * reduced functional layers.  For baselines the measured keep
+ * fractions apply uniformly (input-side reduction).
+ */
+WorkloadTrace buildTrace(const ModelProfile &model,
+                         const DatasetProfile &dataset,
+                         const MethodConfig &method,
+                         const FunctionalAggregate &agg);
+
+/** Dense trace (no method, no functional data needed). */
+WorkloadTrace buildDenseTrace(const ModelProfile &model,
+                              const DatasetProfile &dataset);
+
+} // namespace focus
+
+#endif // FOCUS_SIM_TRACE_H

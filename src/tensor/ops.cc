@@ -1,0 +1,238 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/half.h"
+#include "common/logging.h"
+
+namespace focus
+{
+
+void
+gemm(const Tensor &a, const Tensor &b, Tensor &c, bool fp16_inputs)
+{
+    if (a.rank() != 2 || b.rank() != 2) {
+        panic("gemm: operands must be rank-2");
+    }
+    const int64_t m = a.rows();
+    const int64_t k = a.cols();
+    const int64_t n = b.cols();
+    if (b.rows() != k) {
+        panic("gemm: inner dims mismatch (%ld vs %ld)",
+              static_cast<long>(k), static_cast<long>(b.rows()));
+    }
+    if (c.rank() != 2 || c.rows() != m || c.cols() != n) {
+        c = Tensor(m, n);
+    } else {
+        c.fill(0.0f);
+    }
+
+    // ikj loop order: streams B rows, decent cache behaviour without
+    // blocking machinery.
+    for (int64_t i = 0; i < m; ++i) {
+        const float *arow = a.row(i);
+        float *crow = c.row(i);
+        for (int64_t kk = 0; kk < k; ++kk) {
+            float av = arow[kk];
+            if (fp16_inputs) {
+                av = fp16Round(av);
+            }
+            if (av == 0.0f) {
+                continue;
+            }
+            const float *brow = b.row(kk);
+            if (fp16_inputs) {
+                for (int64_t j = 0; j < n; ++j) {
+                    crow[j] += av * fp16Round(brow[j]);
+                }
+            } else {
+                for (int64_t j = 0; j < n; ++j) {
+                    crow[j] += av * brow[j];
+                }
+            }
+        }
+    }
+}
+
+void
+gemmTransB(const Tensor &a, const Tensor &b, Tensor &c)
+{
+    if (a.rank() != 2 || b.rank() != 2) {
+        panic("gemmTransB: operands must be rank-2");
+    }
+    const int64_t m = a.rows();
+    const int64_t k = a.cols();
+    const int64_t n = b.rows();
+    if (b.cols() != k) {
+        panic("gemmTransB: inner dims mismatch (%ld vs %ld)",
+              static_cast<long>(k), static_cast<long>(b.cols()));
+    }
+    if (c.rank() != 2 || c.rows() != m || c.cols() != n) {
+        c = Tensor(m, n);
+    }
+    for (int64_t i = 0; i < m; ++i) {
+        const float *arow = a.row(i);
+        float *crow = c.row(i);
+        for (int64_t j = 0; j < n; ++j) {
+            crow[j] = dot(arow, b.row(j), k);
+        }
+    }
+}
+
+void
+softmaxRows(Tensor &t)
+{
+    if (t.rank() != 2) {
+        panic("softmaxRows: rank-2 required");
+    }
+    const int64_t n = t.cols();
+    for (int64_t i = 0; i < t.rows(); ++i) {
+        float *row = t.row(i);
+        float mx = row[0];
+        for (int64_t j = 1; j < n; ++j) {
+            mx = std::max(mx, row[j]);
+        }
+        float sum = 0.0f;
+        for (int64_t j = 0; j < n; ++j) {
+            row[j] = std::exp(row[j] - mx);
+            sum += row[j];
+        }
+        const float inv = 1.0f / sum;
+        for (int64_t j = 0; j < n; ++j) {
+            row[j] *= inv;
+        }
+    }
+}
+
+void
+softmaxRowsMasked(Tensor &t, const Tensor &mask)
+{
+    if (!t.sameShape(mask)) {
+        panic("softmaxRowsMasked: shape mismatch");
+    }
+    for (int64_t i = 0; i < t.rows(); ++i) {
+        float *row = t.row(i);
+        const float *mrow = mask.row(i);
+        for (int64_t j = 0; j < t.cols(); ++j) {
+            row[j] += mrow[j];
+        }
+    }
+    softmaxRows(t);
+}
+
+void
+rmsNormRows(Tensor &t, const Tensor &gain, float eps)
+{
+    if (t.rank() != 2) {
+        panic("rmsNormRows: rank-2 required");
+    }
+    const int64_t n = t.cols();
+    const bool has_gain = gain.numel() == n;
+    for (int64_t i = 0; i < t.rows(); ++i) {
+        float *row = t.row(i);
+        float ms = 0.0f;
+        for (int64_t j = 0; j < n; ++j) {
+            ms += row[j] * row[j];
+        }
+        ms /= static_cast<float>(n);
+        const float inv = 1.0f / std::sqrt(ms + eps);
+        for (int64_t j = 0; j < n; ++j) {
+            row[j] *= inv * (has_gain ? gain(j) : 1.0f);
+        }
+    }
+}
+
+void
+siluInPlace(Tensor &t)
+{
+    float *d = t.data();
+    for (int64_t i = 0; i < t.numel(); ++i) {
+        d[i] = d[i] / (1.0f + std::exp(-d[i]));
+    }
+}
+
+void
+geluInPlace(Tensor &t)
+{
+    constexpr float c = 0.7978845608f; // sqrt(2/pi)
+    float *d = t.data();
+    for (int64_t i = 0; i < t.numel(); ++i) {
+        const float x = d[i];
+        d[i] = 0.5f * x *
+            (1.0f + std::tanh(c * (x + 0.044715f * x * x * x)));
+    }
+}
+
+float
+dot(const float *a, const float *b, int64_t n)
+{
+    float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+    int64_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        s0 += a[i] * b[i];
+        s1 += a[i + 1] * b[i + 1];
+        s2 += a[i + 2] * b[i + 2];
+        s3 += a[i + 3] * b[i + 3];
+    }
+    for (; i < n; ++i) {
+        s0 += a[i] * b[i];
+    }
+    return (s0 + s1) + (s2 + s3);
+}
+
+float
+l2Norm(const float *v, int64_t n)
+{
+    return std::sqrt(dot(v, v, n));
+}
+
+float
+cosineSimilarity(const float *a, const float *b, int64_t n)
+{
+    return cosineSimilarityPrenorm(a, l2Norm(a, n), b, l2Norm(b, n), n);
+}
+
+float
+cosineSimilarityPrenorm(const float *a, float norm_a,
+                        const float *b, float norm_b, int64_t n)
+{
+    constexpr float tiny = 1e-12f;
+    if (norm_a < tiny || norm_b < tiny) {
+        return 0.0f;
+    }
+    return dot(a, b, n) / (norm_a * norm_b);
+}
+
+double
+relativeError(const Tensor &a, const Tensor &b)
+{
+    if (!a.sameShape(b)) {
+        panic("relativeError: shape mismatch");
+    }
+    double num = 0.0, den = 0.0;
+    const float *pa = a.data();
+    const float *pb = b.data();
+    for (int64_t i = 0; i < a.numel(); ++i) {
+        num += std::abs(static_cast<double>(pa[i]) - pb[i]);
+        den += std::abs(static_cast<double>(pb[i]));
+    }
+    return den == 0.0 ? num : num / den;
+}
+
+double
+maxAbsDiff(const Tensor &a, const Tensor &b)
+{
+    if (!a.sameShape(b)) {
+        panic("maxAbsDiff: shape mismatch");
+    }
+    double mx = 0.0;
+    const float *pa = a.data();
+    const float *pb = b.data();
+    for (int64_t i = 0; i < a.numel(); ++i) {
+        mx = std::max(mx, std::abs(static_cast<double>(pa[i]) - pb[i]));
+    }
+    return mx;
+}
+
+} // namespace focus

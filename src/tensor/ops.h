@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Numeric kernels for the functional VLM model: GEMM, softmax,
+ * RMSNorm, activation functions, and the vector-similarity primitives
+ * used by the concentration algorithms.
+ */
+
+#ifndef FOCUS_TENSOR_OPS_H
+#define FOCUS_TENSOR_OPS_H
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace focus
+{
+
+/**
+ * C = A * B.  A is (M x K), B is (K x N), C is (M x N).
+ *
+ * Accumulation is float (FP32), matching the PE array; if
+ * @p fp16_inputs is true both inputs are rounded through binary16
+ * element-wise before use, emulating FP16 operand storage.
+ */
+void gemm(const Tensor &a, const Tensor &b, Tensor &c,
+          bool fp16_inputs = false);
+
+/** C = A * B^T.  A is (M x K), B is (N x K), C is (M x N). */
+void gemmTransB(const Tensor &a, const Tensor &b, Tensor &c);
+
+/** Row-wise numerically-stable softmax over a rank-2 tensor. */
+void softmaxRows(Tensor &t);
+
+/** Row-wise softmax with an additive mask (mask 0 or -inf style). */
+void softmaxRowsMasked(Tensor &t, const Tensor &mask);
+
+/**
+ * RMSNorm over the last dimension: x / sqrt(mean(x^2) + eps) * gain.
+ * @p gain may be empty (all-ones).
+ */
+void rmsNormRows(Tensor &t, const Tensor &gain, float eps = 1e-6f);
+
+/** SiLU (swish) activation applied element-wise. */
+void siluInPlace(Tensor &t);
+
+/** GELU (tanh approximation) applied element-wise. */
+void geluInPlace(Tensor &t);
+
+/** Dot product of two length-n float vectors. */
+float dot(const float *a, const float *b, int64_t n);
+
+/** L2 norm of a length-n float vector. */
+float l2Norm(const float *v, int64_t n);
+
+/**
+ * Cosine similarity of two length-n vectors.  Returns 0 if either
+ * vector has (near-)zero norm, so degenerate vectors never match.
+ */
+float cosineSimilarity(const float *a, const float *b, int64_t n);
+
+/**
+ * Cosine similarity with precomputed norms, as the hardware matcher
+ * computes it (norms come from a per-token L2 buffer).
+ */
+float cosineSimilarityPrenorm(const float *a, float norm_a,
+                              const float *b, float norm_b, int64_t n);
+
+/** Mean absolute relative error between two same-shape tensors. */
+double relativeError(const Tensor &a, const Tensor &b);
+
+/** Max absolute difference between two same-shape tensors. */
+double maxAbsDiff(const Tensor &a, const Tensor &b);
+
+} // namespace focus
+
+#endif // FOCUS_TENSOR_OPS_H

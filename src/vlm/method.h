@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Method selection for a functional VLM forward pass.
+ */
+
+#ifndef FOCUS_VLM_METHOD_H
+#define FOCUS_VLM_METHOD_H
+
+#include <string>
+
+#include "baselines/adaptiv.h"
+#include "baselines/cmc.h"
+#include "baselines/framefusion.h"
+#include "focus/config.h"
+
+namespace focus
+{
+
+/** Which concentration method a forward pass applies. */
+enum class MethodKind
+{
+    Dense,       ///< vanilla, no reduction
+    Focus,       ///< SEC + SIC per the FocusConfig flags
+    AdapTiV,     ///< sign-similarity intra-frame merging
+    CMC,         ///< codec-style inter-frame matching
+    FrameFusion, ///< similarity + importance reduction, fixed budget
+};
+
+/** Full method configuration for one run. */
+struct MethodConfig
+{
+    MethodKind kind = MethodKind::Dense;
+
+    FocusConfig focus;
+    AdaptivConfig adaptiv;
+    CmcConfig cmc;
+    FrameFusionConfig framefusion;
+
+    /** Emulate INT8 W8A8 quantization (Tbl. IV). */
+    bool int8 = false;
+
+    /** Human-readable method name for reports. */
+    std::string name() const;
+
+    // -- named constructors for the standard configurations --
+    static MethodConfig dense();
+    static MethodConfig focusFull();
+    static MethodConfig focusSecOnly();
+    static MethodConfig focusSicOnly();
+    static MethodConfig focusTokenWise();
+    static MethodConfig adaptivBaseline();
+    static MethodConfig cmcBaseline();
+    static MethodConfig frameFusionBaseline();
+};
+
+inline std::string
+MethodConfig::name() const
+{
+    switch (kind) {
+      case MethodKind::Dense:
+        return int8 ? "Dense-INT8" : "Dense";
+      case MethodKind::Focus:
+        if (focus.sic.token_wise) {
+            return "Focus-TokenWise";
+        }
+        if (focus.sec_enable && !focus.sic_enable) {
+            return "Focus-SEC";
+        }
+        if (!focus.sec_enable && focus.sic_enable) {
+            return "Focus-SIC";
+        }
+        return int8 ? "Focus-INT8" : "Focus";
+      case MethodKind::AdapTiV:
+        return "AdapTiV";
+      case MethodKind::CMC:
+        return "CMC";
+      case MethodKind::FrameFusion:
+        return "FrameFusion";
+    }
+    return "?";
+}
+
+inline MethodConfig
+MethodConfig::dense()
+{
+    return MethodConfig{};
+}
+
+inline MethodConfig
+MethodConfig::focusFull()
+{
+    MethodConfig m;
+    m.kind = MethodKind::Focus;
+    return m;
+}
+
+inline MethodConfig
+MethodConfig::focusSecOnly()
+{
+    MethodConfig m;
+    m.kind = MethodKind::Focus;
+    m.focus.sic_enable = false;
+    return m;
+}
+
+inline MethodConfig
+MethodConfig::focusSicOnly()
+{
+    MethodConfig m;
+    m.kind = MethodKind::Focus;
+    m.focus.sec_enable = false;
+    return m;
+}
+
+inline MethodConfig
+MethodConfig::focusTokenWise()
+{
+    MethodConfig m;
+    m.kind = MethodKind::Focus;
+    m.focus.sic.token_wise = true;
+    return m;
+}
+
+inline MethodConfig
+MethodConfig::adaptivBaseline()
+{
+    MethodConfig m;
+    m.kind = MethodKind::AdapTiV;
+    return m;
+}
+
+inline MethodConfig
+MethodConfig::cmcBaseline()
+{
+    MethodConfig m;
+    m.kind = MethodKind::CMC;
+    return m;
+}
+
+inline MethodConfig
+MethodConfig::frameFusionBaseline()
+{
+    MethodConfig m;
+    m.kind = MethodKind::FrameFusion;
+    return m;
+}
+
+} // namespace focus
+
+#endif // FOCUS_VLM_METHOD_H

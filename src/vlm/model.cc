@@ -1,0 +1,576 @@
+#include "vlm/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "focus/sec.h"
+#include "focus/sic.h"
+#include "tensor/ops.h"
+#include "tensor/quant.h"
+
+namespace focus
+{
+
+namespace
+{
+
+/** Random matrix with optional identity component. */
+Tensor
+initWeight(Rng &rng, int64_t rows, int64_t cols, double ident,
+           double noise)
+{
+    Tensor w(rows, cols);
+    const double scale = noise / std::sqrt(static_cast<double>(rows));
+    for (int64_t i = 0; i < rows; ++i) {
+        float *row = w.row(i);
+        for (int64_t j = 0; j < cols; ++j) {
+            row[j] = static_cast<float>(rng.gaussian(0.0, scale));
+        }
+        if (i < cols) {
+            row[i] += static_cast<float>(ident);
+        }
+    }
+    return w;
+}
+
+/**
+ * Random matrix with band-local structure: input group g mixes mostly
+ * into output band g, with weaker cross-band coupling.
+ *
+ * Trained transformers show strong channel locality in their
+ * activations (outlier channels, per-channel scales); band-local
+ * mixing reproduces the consequence that matters here — sub-token
+ * (vector-level) similarity survives the FC layers, which is the
+ * property SIC's vector granularity exploits over token granularity
+ * (Fig. 1(c), Fig. 2(b)).
+ */
+Tensor
+initBlockLocalWeight(Rng &rng, int64_t rows, int64_t cols, double ident,
+                     double local_noise, double global_noise,
+                     int groups)
+{
+    Tensor w(rows, cols);
+    const int64_t row_band = rows / groups;
+    const int64_t col_band = cols / groups;
+    const double local_scale =
+        local_noise / std::sqrt(static_cast<double>(row_band));
+    const double global_scale =
+        global_noise / std::sqrt(static_cast<double>(rows));
+    for (int64_t i = 0; i < rows; ++i) {
+        float *row = w.row(i);
+        const int64_t gi = i / row_band;
+        for (int64_t j = 0; j < cols; ++j) {
+            const bool local = gi == j / col_band;
+            row[j] = static_cast<float>(
+                rng.gaussian(0.0, local ? local_scale : global_scale));
+        }
+        if (i < cols) {
+            row[i] += static_cast<float>(ident);
+        }
+    }
+    return w;
+}
+
+/** Round-trip all weights through int8 (per-row symmetric). */
+Tensor
+weightInt8(const Tensor &w)
+{
+    return int8RoundTrip(w);
+}
+
+} // namespace
+
+VlmModel::VlmModel(const ModelProfile &profile, uint64_t seed)
+    : prof_(profile)
+{
+    const int64_t d = prof_.hidden;
+    const int64_t inner = prof_.ffnInner();
+    Rng rng(seed ^ 0xfeedc0dedeadbeefull);
+
+    layers_.reserve(static_cast<size_t>(prof_.layers));
+    for (int l = 0; l < prof_.layers; ++l) {
+        LayerWeights w;
+        // Identity-heavy Q/K keep cross-modal attention grounded in
+        // the input semantics (prompt prototype vs. scene content).
+        w.wq = initWeight(rng, d, d, 1.6, 0.5);
+        w.wk = initWeight(rng, d, d, 1.6, 0.5);
+        w.wv = initWeight(rng, d, d, 0.7, 0.3);
+        w.wo = initBlockLocalWeight(rng, d, d, 0.25, 0.35, 0.12,
+                                    kNumGroups);
+        w.wg = initBlockLocalWeight(rng, d, inner, 0.0, 1.0, 0.30,
+                                    kNumGroups);
+        w.wu = initBlockLocalWeight(rng, d, inner, 0.0, 1.0, 0.30,
+                                    kNumGroups);
+        w.wd = initBlockLocalWeight(rng, inner, d, 0.0, 0.45, 0.15,
+                                    kNumGroups);
+        w.n1 = Tensor(d);
+        w.n2 = Tensor(d);
+        w.n1.fill(1.0f);
+        w.n2.fill(1.0f);
+        layers_.push_back(std::move(w));
+    }
+
+    layers_int8_.reserve(layers_.size());
+    for (const LayerWeights &w : layers_) {
+        LayerWeights q;
+        q.wq = weightInt8(w.wq);
+        q.wk = weightInt8(w.wk);
+        q.wv = weightInt8(w.wv);
+        q.wo = weightInt8(w.wo);
+        q.wg = weightInt8(w.wg);
+        q.wu = weightInt8(w.wu);
+        q.wd = weightInt8(w.wd);
+        q.n1 = w.n1;
+        q.n2 = w.n2;
+        layers_int8_.push_back(std::move(q));
+    }
+}
+
+void
+VlmModel::attention(const Tensor &xn, const LayerWeights &w,
+                    std::vector<Tensor> &head_probs, Tensor &q,
+                    Tensor &k, Tensor &v) const
+{
+    const int64_t rows = xn.rows();
+    const int64_t hd = prof_.headDim();
+    gemm(xn, w.wq, q);
+    gemm(xn, w.wk, k);
+    gemm(xn, w.wv, v);
+
+    head_probs.assign(static_cast<size_t>(prof_.heads), Tensor());
+    const float inv_sqrt =
+        1.0f / std::sqrt(static_cast<float>(hd));
+    for (int h = 0; h < prof_.heads; ++h) {
+        Tensor &p = head_probs[static_cast<size_t>(h)];
+        p = Tensor(rows, rows);
+        const int64_t c0 = static_cast<int64_t>(h) * hd;
+        for (int64_t i = 0; i < rows; ++i) {
+            const float *qi = q.row(i) + c0;
+            float *prow = p.row(i);
+            for (int64_t j = 0; j <= i; ++j) {
+                prow[j] = dot(qi, k.row(j) + c0, hd) * inv_sqrt;
+            }
+            // Causal mask: stream order is [visual ; text], so text
+            // queries see every visual key.
+            for (int64_t j = i + 1; j < rows; ++j) {
+                prow[j] = -1e30f;
+            }
+        }
+        softmaxRows(p);
+    }
+}
+
+ForwardResult
+VlmModel::forward(const VideoSample &sample, const MethodConfig &method,
+                  const PrototypeBank &bank) const
+{
+    const int64_t d = prof_.hidden;
+    const int64_t inner = prof_.ffnInner();
+    const int64_t m_orig = sample.numVisual();
+    const int64_t t_count = sample.numText();
+    const std::vector<LayerWeights> &weights =
+        method.int8 ? layers_int8_ : layers_;
+
+    ForwardResult res;
+    res.visual_original = m_orig;
+
+    // ------------------------------------------------------------
+    // Preprocess: token-level reduction for the merging baselines.
+    // ------------------------------------------------------------
+    TokenReduction red = identityReduction(m_orig);
+    switch (method.kind) {
+      case MethodKind::AdapTiV:
+        red = adaptivReduce(sample.visual_tokens, sample.coords,
+                            sample.frames, sample.grid_h, sample.grid_w,
+                            method.adaptiv);
+        break;
+      case MethodKind::CMC:
+        red = cmcReduce(sample.visual_tokens, sample.coords,
+                        sample.frames, sample.grid_h, sample.grid_w,
+                        method.cmc);
+        break;
+      case MethodKind::FrameFusion:
+        red = frameFusionReduce(sample.visual_tokens, sample.coords,
+                                sample.frames, sample.grid_h,
+                                sample.grid_w, method.framefusion);
+        break;
+      default:
+        break;
+    }
+
+    const int64_t s0 = static_cast<int64_t>(red.kept.size());
+    res.visual_initial = s0;
+
+    // Active-state arrays: merged-group mean embeddings, coordinates
+    // of the surviving representative, original index (for readout).
+    Tensor visual(s0, d);
+    std::vector<TokenCoord> coords(static_cast<size_t>(s0));
+    std::vector<int64_t> active_orig(static_cast<size_t>(s0));
+    {
+        std::vector<int64_t> kept_pos(static_cast<size_t>(m_orig), -1);
+        for (int64_t p = 0; p < s0; ++p) {
+            const int64_t orig = red.kept[static_cast<size_t>(p)];
+            kept_pos[static_cast<size_t>(orig)] = p;
+            coords[static_cast<size_t>(p)] =
+                sample.coords[static_cast<size_t>(orig)];
+            active_orig[static_cast<size_t>(p)] = orig;
+        }
+        std::vector<int64_t> counts(static_cast<size_t>(s0), 0);
+        for (int64_t i = 0; i < m_orig; ++i) {
+            const int64_t rep = red.assign[static_cast<size_t>(i)];
+            if (rep < 0) {
+                continue;
+            }
+            const int64_t p = kept_pos[static_cast<size_t>(rep)];
+            if (p < 0) {
+                panic("forward: token %ld assigned to non-kept "
+                      "representative %ld", static_cast<long>(i),
+                      static_cast<long>(rep));
+            }
+            const float *src = sample.visual_tokens.row(i);
+            float *dst = visual.row(p);
+            for (int64_t j = 0; j < d; ++j) {
+                dst[j] += src[j];
+            }
+            ++counts[static_cast<size_t>(p)];
+        }
+        for (int64_t p = 0; p < s0; ++p) {
+            const float inv = 1.0f /
+                static_cast<float>(std::max<int64_t>(
+                    counts[static_cast<size_t>(p)], 1));
+            float *dst = visual.row(p);
+            for (int64_t j = 0; j < d; ++j) {
+                dst[j] *= inv;
+            }
+        }
+    }
+
+    // Readout embeddings: input-space content of each active token.
+    Tensor readout_emb = visual;
+
+    // Working hidden state X = [visual ; text].
+    Tensor x(s0 + t_count, d);
+    for (int64_t i = 0; i < s0; ++i) {
+        std::copy(visual.row(i), visual.row(i) + d, x.row(i));
+    }
+    for (int64_t i = 0; i < t_count; ++i) {
+        std::copy(sample.text_tokens.row(i),
+                  sample.text_tokens.row(i) + d, x.row(s0 + i));
+    }
+
+    const bool is_focus = method.kind == MethodKind::Focus;
+    const bool sec_on = is_focus && method.focus.sec_enable;
+    const bool sic_on = is_focus && method.focus.sic_enable;
+
+    // Gather coordinates include text rows as non-spatial sentinels.
+    auto gather_coords = [&](int64_t s_cur) {
+        std::vector<TokenCoord> gc(coords.begin(),
+                                   coords.begin() + s_cur);
+        gc.resize(static_cast<size_t>(s_cur + t_count),
+                  TokenCoord{-1, 0, 0});
+        return gc;
+    };
+
+    // Per-layer dense reference ops (no reduction at all).
+    const double rows0 = static_cast<double>(m_orig + t_count);
+    const double dense_layer_ops =
+        3.0 * rows0 * d * d +            // QKV projections
+        2.0 * rows0 * rows0 * d +        // QK^T and PV
+        1.0 * rows0 * d * d +            // O projection
+        2.0 * rows0 * d * inner +        // gate, up
+        1.0 * rows0 * inner * d;         // down
+    res.dense_ops = dense_layer_ops * prof_.layers;
+
+    int64_t s_cur = s0;
+    std::vector<Tensor> head_probs;
+    Tensor q, k, v;
+
+    for (int l = 0; l < prof_.layers; ++l) {
+        LayerRecord rec;
+        rec.visual_in = s_cur;
+        rec.text = t_count;
+        const int64_t rows = s_cur + t_count;
+
+        // ---- attention block ----
+        Tensor xn = x;
+        rmsNormRows(xn, weights[static_cast<size_t>(l)].n1);
+        if (method.int8) {
+            xn = int8RoundTrip(xn);
+        } else {
+            xn.roundToFp16();
+        }
+        if (sic_on && l > 0) {
+            SicResult g = sicGather(xn, gather_coords(s_cur),
+                                    method.focus.sic);
+            rec.psi_qkv = g.uniqueFrac();
+            rec.tile_fracs.insert(rec.tile_fracs.end(),
+                                  g.tile_slice_unique_frac.begin(),
+                                  g.tile_slice_unique_frac.end());
+        }
+        attention(xn, weights[static_cast<size_t>(l)], head_probs, q,
+                  k, v);
+        res.ops += 3.0 * static_cast<double>(rows) * d * d *
+            rec.psi_qkv;
+        res.ops += static_cast<double>(rows) * rows * d; // QK^T
+
+        // ---- semantic pruning (SEC) ----
+        std::vector<int64_t> retained; // positions among active visuals
+        bool pruned = false;
+        if (sec_on && prof_.pruneAtLayer(l, prof_.layers)) {
+            const std::vector<float> importance =
+                secImportance(head_probs, s_cur, t_count);
+            switch (method.focus.sec.select) {
+              case SecSelect::TopK: {
+                const double ratio =
+                    prof_.retentionAfterLayer(l, prof_.layers);
+                const int64_t want = std::max<int64_t>(
+                    1, static_cast<int64_t>(std::llround(
+                           ratio * static_cast<double>(m_orig))));
+                if (want < s_cur) {
+                    retained = secTopK(importance, want);
+                    pruned = true;
+                }
+                break;
+              }
+              case SecSelect::TopP:
+                retained =
+                    secTopP(importance, method.focus.sec.top_p);
+                pruned = static_cast<int64_t>(retained.size()) < s_cur;
+                break;
+              case SecSelect::Threshold:
+                retained = secThreshold(importance,
+                                        method.focus.sec.threshold);
+                pruned = static_cast<int64_t>(retained.size()) < s_cur;
+                break;
+            }
+        }
+
+        const int64_t s_next = pruned
+            ? static_cast<int64_t>(retained.size()) : s_cur;
+        const int64_t rows_after = s_next + t_count;
+        rec.visual_out = s_next;
+
+        // ---- P x V, computed only for surviving rows ----
+        // (paper Sec. V-C: pruned tokens are skipped in P(i) x V)
+        Tensor attn_out(rows_after, d);
+        const int64_t hd = prof_.headDim();
+        auto out_row_src = [&](int64_t r) {
+            // Map post-prune row r to pre-prune row index.
+            if (!pruned) {
+                return r;
+            }
+            if (r < s_next) {
+                return retained[static_cast<size_t>(r)];
+            }
+            return s_cur + (r - s_next);
+        };
+        for (int h = 0; h < prof_.heads; ++h) {
+            const Tensor &p = head_probs[static_cast<size_t>(h)];
+            const int64_t c0 = static_cast<int64_t>(h) * hd;
+            for (int64_t r = 0; r < rows_after; ++r) {
+                const float *prow = p.row(out_row_src(r));
+                float *orow = attn_out.row(r) + c0;
+                for (int64_t j = 0; j < rows; ++j) {
+                    const float pj = prow[j];
+                    if (pj == 0.0f) {
+                        continue;
+                    }
+                    const float *vr = v.row(j) + c0;
+                    for (int64_t e = 0; e < hd; ++e) {
+                        orow[e] += pj * vr[e];
+                    }
+                }
+            }
+        }
+        res.ops += static_cast<double>(rows_after) * rows * d; // PV
+
+        // ---- shrink the active state if pruned ----
+        if (pruned) {
+            Tensor x2(rows_after, d);
+            Tensor ro2(s_next, d);
+            std::vector<TokenCoord> c2(static_cast<size_t>(s_next));
+            std::vector<int64_t> ao2(static_cast<size_t>(s_next));
+            for (int64_t r = 0; r < s_next; ++r) {
+                const int64_t srcv = retained[static_cast<size_t>(r)];
+                std::copy(x.row(srcv), x.row(srcv) + d, x2.row(r));
+                std::copy(readout_emb.row(srcv),
+                          readout_emb.row(srcv) + d, ro2.row(r));
+                c2[static_cast<size_t>(r)] =
+                    coords[static_cast<size_t>(srcv)];
+                ao2[static_cast<size_t>(r)] =
+                    active_orig[static_cast<size_t>(srcv)];
+            }
+            for (int64_t r = 0; r < t_count; ++r) {
+                std::copy(x.row(s_cur + r), x.row(s_cur + r) + d,
+                          x2.row(s_next + r));
+            }
+            x = std::move(x2);
+            readout_emb = std::move(ro2);
+            coords = std::move(c2);
+            active_orig = std::move(ao2);
+            s_cur = s_next;
+        }
+
+        // ---- O projection ----
+        if (sic_on) {
+            SicResult g = sicGather(attn_out, gather_coords(s_cur),
+                                    method.focus.sic);
+            rec.psi_oproj = g.uniqueFrac();
+            rec.tile_fracs.insert(rec.tile_fracs.end(),
+                                  g.tile_slice_unique_frac.begin(),
+                                  g.tile_slice_unique_frac.end());
+        }
+        Tensor o;
+        gemm(attn_out, weights[static_cast<size_t>(l)].wo, o);
+        res.ops += static_cast<double>(rows_after) * d * d *
+            rec.psi_oproj;
+        for (int64_t r = 0; r < rows_after; ++r) {
+            float *xr = x.row(r);
+            const float *orow = o.row(r);
+            for (int64_t j = 0; j < d; ++j) {
+                xr[j] += orow[j];
+            }
+        }
+
+        // ---- FFN block ----
+        Tensor xn2 = x;
+        rmsNormRows(xn2, weights[static_cast<size_t>(l)].n2);
+        if (method.int8) {
+            xn2 = int8RoundTrip(xn2);
+        } else {
+            xn2.roundToFp16();
+        }
+        if (sic_on) {
+            SicResult g = sicGather(xn2, gather_coords(s_cur),
+                                    method.focus.sic);
+            rec.psi_ffn = g.uniqueFrac();
+            rec.tile_fracs.insert(rec.tile_fracs.end(),
+                                  g.tile_slice_unique_frac.begin(),
+                                  g.tile_slice_unique_frac.end());
+        }
+        Tensor gate, up;
+        gemm(xn2, weights[static_cast<size_t>(l)].wg, gate);
+        gemm(xn2, weights[static_cast<size_t>(l)].wu, up);
+        res.ops += 2.0 * static_cast<double>(rows_after) * d * inner *
+            rec.psi_ffn;
+        siluInPlace(gate);
+        for (int64_t i = 0; i < gate.numel(); ++i) {
+            gate.data()[i] *= up.data()[i];
+        }
+        if (sic_on) {
+            SicResult g = sicGather(gate, gather_coords(s_cur),
+                                    method.focus.sic);
+            rec.psi_down = g.uniqueFrac();
+            rec.tile_fracs.insert(rec.tile_fracs.end(),
+                                  g.tile_slice_unique_frac.begin(),
+                                  g.tile_slice_unique_frac.end());
+        }
+        Tensor down;
+        gemm(gate, weights[static_cast<size_t>(l)].wd, down);
+        res.ops += static_cast<double>(rows_after) * inner * d *
+            rec.psi_down;
+        for (int64_t r = 0; r < rows_after; ++r) {
+            float *xr = x.row(r);
+            const float *dr = down.row(r);
+            for (int64_t j = 0; j < d; ++j) {
+                xr[j] += dr[j];
+            }
+        }
+
+        res.layers.push_back(std::move(rec));
+    }
+
+    // ------------------------------------------------------------
+    // Readout: final-layer cross-modal attention from the query
+    // token over visual tokens, then nearest-prototype color.
+    // ------------------------------------------------------------
+    {
+        Tensor xn = x;
+        rmsNormRows(xn, layers_.back().n1);
+        const int64_t qrow_idx = s_cur + sample.query_token;
+        const int64_t hd = prof_.headDim();
+        Tensor qv(1, d), kv;
+        {
+            Tensor qin = xn.sliceRows(qrow_idx, qrow_idx + 1);
+            gemm(qin, layers_.back().wq, qv);
+            Tensor vis = xn.sliceRows(0, s_cur);
+            gemm(vis, layers_.back().wk, kv);
+        }
+        std::vector<float> weights_sum(static_cast<size_t>(s_cur),
+                                       0.0f);
+        const float inv_sqrt =
+            1.0f / std::sqrt(static_cast<float>(hd));
+        std::vector<float> logits(static_cast<size_t>(s_cur));
+        for (int h = 0; h < prof_.heads; ++h) {
+            const int64_t c0 = static_cast<int64_t>(h) * hd;
+            float mx = -1e30f;
+            for (int64_t j = 0; j < s_cur; ++j) {
+                logits[static_cast<size_t>(j)] =
+                    dot(qv.row(0) + c0, kv.row(j) + c0, hd) * inv_sqrt;
+                mx = std::max(mx, logits[static_cast<size_t>(j)]);
+            }
+            float sum = 0.0f;
+            for (int64_t j = 0; j < s_cur; ++j) {
+                logits[static_cast<size_t>(j)] =
+                    std::exp(logits[static_cast<size_t>(j)] - mx);
+                sum += logits[static_cast<size_t>(j)];
+            }
+            for (int64_t j = 0; j < s_cur; ++j) {
+                weights_sum[static_cast<size_t>(j)] +=
+                    logits[static_cast<size_t>(j)] / sum /
+                    static_cast<float>(prof_.heads);
+            }
+        }
+
+        std::vector<float> readout(static_cast<size_t>(kGroupDim),
+                                   0.0f);
+        for (int64_t j = 0; j < s_cur; ++j) {
+            const float w = weights_sum[static_cast<size_t>(j)];
+            if (w <= 0.0f) {
+                continue;
+            }
+            const float *emb = readout_emb.row(j);
+            for (int g = 0; g < kNumGroups; ++g) {
+                for (int e = 0; e < kGroupDim; ++e) {
+                    readout[static_cast<size_t>(e)] +=
+                        w * emb[g * kGroupDim + e] /
+                        static_cast<float>(kNumGroups);
+                }
+            }
+        }
+        res.predicted_color = bank.classifyColor(readout.data());
+        res.correct = res.predicted_color == sample.answer_color;
+        res.readout_attention = std::move(weights_sum);
+        res.active_original = active_orig;
+    }
+
+    return res;
+}
+
+std::vector<float>
+VlmModel::attentionHeatmap(const VideoSample &sample) const
+{
+    const int64_t d = prof_.hidden;
+    const int64_t m = sample.numVisual();
+    const int64_t t = sample.numText();
+    Tensor x(m + t, d);
+    for (int64_t i = 0; i < m; ++i) {
+        std::copy(sample.visual_tokens.row(i),
+                  sample.visual_tokens.row(i) + d, x.row(i));
+    }
+    for (int64_t i = 0; i < t; ++i) {
+        std::copy(sample.text_tokens.row(i),
+                  sample.text_tokens.row(i) + d, x.row(m + i));
+    }
+    rmsNormRows(x, layers_.front().n1);
+
+    std::vector<Tensor> head_probs;
+    Tensor q, k, v;
+    attention(x, layers_.front(), head_probs, q, k, v);
+    const std::vector<float> imp = secImportance(head_probs, m, t);
+    return imp;
+}
+
+} // namespace focus

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Dataset and model profiles.
+ *
+ * The paper evaluates three video VLMs (LLaVA-Video-7B,
+ * LLaVA-OneVision-7B, MiniCPM-V-2.6) on three video benchmarks
+ * (VideoMME, MLVU, MVBench), plus image benchmarks for the
+ * generalization study (Tbl. V).  We cannot run the 7B checkpoints or
+ * the proprietary-licensed datasets, so each is replaced by a
+ * *profile*: the dataset profile controls the synthetic scene
+ * statistics (clip length, motion, redundancy, distractor rate) and
+ * the model profile controls both the reduced functional architecture
+ * (what the CPU executes) and the full-scale architecture (what the
+ * cycle model times).
+ */
+
+#ifndef FOCUS_WORKLOAD_PROFILES_H
+#define FOCUS_WORKLOAD_PROFILES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace focus
+{
+
+/**
+ * Synthetic stand-in for a video / image QA dataset.
+ */
+struct DatasetProfile
+{
+    std::string name;
+
+    // --- scene geometry ---
+    int frames = 8;           ///< sampled frames per clip
+    int grid_h = 10;          ///< patch rows per frame
+    int grid_w = 10;          ///< patch cols per frame
+
+    // --- content statistics ---
+    int num_objects = 3;          ///< foreground objects per scene
+    double motion_scale = 0.6;    ///< mean |velocity| in patches/frame
+    double background_drift = 0.02; ///< per-frame background change
+    double temporal_jitter = 0.015; ///< per-token temporal noise
+    double feature_noise = 0.30;  ///< additive embedding noise (sigma)
+    double distractor_prob = 0.45; ///< P(scene has a same-type distractor)
+
+    // --- full-scale token counts for the timing model (paper-scale) ---
+    int64_t full_visual_tokens = 6272;
+    int64_t full_text_tokens = 109;
+
+    bool isVideo() const { return frames > 1; }
+};
+
+/**
+ * Model profile: reduced functional dims + full-scale timing dims.
+ */
+struct ModelProfile
+{
+    std::string name;
+
+    // --- reduced functional architecture (runs on the CPU) ---
+    int hidden = 64;          ///< embedding dim D (divisible by 32)
+    int heads = 2;            ///< attention heads (head_dim = D/heads)
+    int layers = 6;           ///< transformer layers
+    int ffn_mult = 4;         ///< FFN inner = ffn_mult * hidden
+    int text_tokens = 8;      ///< prompt length
+
+    /**
+     * SEC retention schedule: (layer_fraction, retain_ratio) pairs.
+     * The paper's Tbl. I schedule is 40/30/20/15/10% at layers
+     * 3/6/9/18/26 of a 28-layer model; expressed as fractions it
+     * transfers to the reduced layer count.
+     */
+    std::vector<std::pair<double, double>> retention_schedule = {
+        {3.0 / 28.0, 0.40}, {6.0 / 28.0, 0.30}, {9.0 / 28.0, 0.20},
+        {18.0 / 28.0, 0.15}, {26.0 / 28.0, 0.10},
+    };
+
+    // --- full-scale architecture (timing model only) ---
+    int64_t full_hidden = 3584;
+    int64_t full_heads = 28;
+    int64_t full_head_dim = 128;
+    int64_t full_layers = 28;
+    int64_t full_ffn_inner = 18944;
+
+    /**
+     * Visual-token multiplier applied to the dataset's full-scale
+     * count (MiniCPM's compressive resampler emits fewer tokens per
+     * frame than the LLaVA projectors).
+     */
+    double visual_token_scale = 1.0;
+
+    /** Seed salt so different model profiles get distinct weights. */
+    uint64_t seed_salt = 0;
+
+    int headDim() const { return hidden / heads; }
+    int ffnInner() const { return ffn_mult * hidden; }
+
+    /** Retention ratio in force after layer @p layer (of @p total). */
+    double retentionAfterLayer(int layer, int total) const;
+
+    /** True if SEC prunes exactly at this (0-based) layer boundary. */
+    bool pruneAtLayer(int layer, int total) const;
+};
+
+/** Look up a dataset profile by paper name (fatal on unknown). */
+DatasetProfile datasetProfile(const std::string &name);
+
+/** Look up a model profile by paper name (fatal on unknown). */
+ModelProfile modelProfile(const std::string &name);
+
+/** All video dataset names in paper order. */
+std::vector<std::string> videoDatasetNames();
+
+/** All image dataset names in paper order (Tbl. V). */
+std::vector<std::string> imageDatasetNames();
+
+/** All video model names in paper order. */
+std::vector<std::string> videoModelNames();
+
+} // namespace focus
+
+#endif // FOCUS_WORKLOAD_PROFILES_H

@@ -1,0 +1,291 @@
+#include "workload/scene.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace focus
+{
+
+namespace
+{
+
+/** Draw a unit-norm random vector of length n. */
+std::vector<float>
+randomUnit(Rng &rng, int n)
+{
+    std::vector<float> v(static_cast<size_t>(n));
+    double norm_sq = 0.0;
+    for (auto &x : v) {
+        x = static_cast<float>(rng.gaussian());
+        norm_sq += static_cast<double>(x) * x;
+    }
+    const float inv = static_cast<float>(1.0 / std::sqrt(norm_sq + 1e-12));
+    for (auto &x : v) {
+        x *= inv;
+    }
+    return v;
+}
+
+/** Snap a velocity to the nearest multiple of 0.5 patches/frame. */
+double
+snapHalf(double v)
+{
+    return std::round(v * 2.0) / 2.0;
+}
+
+} // namespace
+
+PrototypeBank::PrototypeBank(uint64_t seed)
+{
+    // Draw random directions and Gram-Schmidt them so the attribute
+    // prototypes are exactly orthonormal (kNumTypes + kNumColors <=
+    // kGroupDim): classification margins then depend only on scene
+    // noise, not on accidental prototype overlap.
+    static_assert(kNumTypes + kNumColors <= kGroupDim,
+                  "prototype count exceeds sub-feature dimensions");
+    Rng rng(seed);
+    std::vector<std::vector<float>> basis;
+    while (static_cast<int>(basis.size()) < kNumTypes + kNumColors) {
+        std::vector<float> v = randomUnit(rng, kGroupDim);
+        for (const auto &b : basis) {
+            float d = 0.0f;
+            for (int i = 0; i < kGroupDim; ++i) {
+                d += v[static_cast<size_t>(i)] *
+                    b[static_cast<size_t>(i)];
+            }
+            for (int i = 0; i < kGroupDim; ++i) {
+                v[static_cast<size_t>(i)] -=
+                    d * b[static_cast<size_t>(i)];
+            }
+        }
+        double norm_sq = 0.0;
+        for (float x : v) {
+            norm_sq += static_cast<double>(x) * x;
+        }
+        if (norm_sq < 1e-6) {
+            continue; // degenerate draw; retry
+        }
+        const float inv =
+            static_cast<float>(1.0 / std::sqrt(norm_sq));
+        for (auto &x : v) {
+            x *= inv;
+        }
+        basis.push_back(std::move(v));
+    }
+    types_.assign(basis.begin(), basis.begin() + kNumTypes);
+    colors_.assign(basis.begin() + kNumTypes, basis.end());
+}
+
+const std::vector<float> &
+PrototypeBank::type(int t) const
+{
+    if (t < 0 || t >= kNumTypes) {
+        panic("PrototypeBank::type: bad index %d", t);
+    }
+    return types_[static_cast<size_t>(t)];
+}
+
+const std::vector<float> &
+PrototypeBank::color(int c) const
+{
+    if (c < 0 || c >= kNumColors) {
+        panic("PrototypeBank::color: bad index %d", c);
+    }
+    return colors_[static_cast<size_t>(c)];
+}
+
+int
+PrototypeBank::classifyColor(const float *v) const
+{
+    int best = 0;
+    float best_score = -1e30f;
+    for (int c = 0; c < kNumColors; ++c) {
+        float s = 0.0f;
+        for (int i = 0; i < kGroupDim; ++i) {
+            s += v[i] * colors_[static_cast<size_t>(c)]
+                [static_cast<size_t>(i)];
+        }
+        if (s > best_score) {
+            best_score = s;
+            best = c;
+        }
+    }
+    return best;
+}
+
+Tensor
+PrototypeBank::liftToHidden(const std::vector<float> &proto,
+                            int hidden) const
+{
+    if (hidden % kGroupDim != 0) {
+        panic("liftToHidden: hidden %d not a multiple of group dim %d",
+              hidden, kGroupDim);
+    }
+    Tensor out(hidden);
+    const int groups = hidden / kGroupDim;
+    for (int g = 0; g < groups; ++g) {
+        for (int i = 0; i < kGroupDim; ++i) {
+            out(g * kGroupDim + i) = proto[static_cast<size_t>(i)];
+        }
+    }
+    return out;
+}
+
+void
+Scene::backgroundAt(int f, double y, double x, int grid_h, int grid_w,
+                    float *out) const
+{
+    // Map patch coordinates into the background control grid.
+    const double sy = y / std::max(grid_h, 1) * (bg_h - 1);
+    const double sx = x / std::max(grid_w, 1) * (bg_w - 1);
+    const int iy = clamp(static_cast<int>(sy), 0, bg_h - 2);
+    const int ix = clamp(static_cast<int>(sx), 0, bg_w - 2);
+    const double fy = clamp(sy - iy, 0.0, 1.0);
+    const double fx = clamp(sx - ix, 0.0, 1.0);
+
+    auto at = [&](int yy, int xx) {
+        return background.data() +
+            (((static_cast<size_t>(f) * bg_h + yy) * bg_w + xx) *
+             kGroupDim);
+    };
+    const float *p00 = at(iy, ix);
+    const float *p01 = at(iy, ix + 1);
+    const float *p10 = at(iy + 1, ix);
+    const float *p11 = at(iy + 1, ix + 1);
+    for (int i = 0; i < kGroupDim; ++i) {
+        const double top = p00[i] * (1 - fx) + p01[i] * fx;
+        const double bot = p10[i] * (1 - fx) + p11[i] * fx;
+        out[i] = static_cast<float>(top * (1 - fy) + bot * fy);
+    }
+}
+
+void
+Scene::contentAt(int f, double y, double x, int grid_h, int grid_w,
+                 float *out) const
+{
+    backgroundAt(f, y, x, grid_h, grid_w, out);
+    for (const auto &obj : objects) {
+        const double dy = y - obj.centerY(f);
+        const double dx = x - obj.centerX(f);
+        const double d2 = dy * dy + dx * dx;
+        const double w = obj.intensity *
+            std::exp(-d2 / (2.0 * obj.radius * obj.radius));
+        if (w < 1e-3) {
+            continue;
+        }
+        for (int i = 0; i < kGroupDim; ++i) {
+            out[i] += static_cast<float>(w) *
+                obj.signature[static_cast<size_t>(i)];
+        }
+    }
+}
+
+Scene
+makeScene(Rng &rng, const PrototypeBank &bank, int frames, int grid_h,
+          int grid_w, int num_objects, double motion_scale,
+          double background_drift, double distractor_prob)
+{
+    Scene scene;
+    scene.frames = frames;
+    scene.bg_h = std::max(3, grid_h / 3 + 2);
+    scene.bg_w = std::max(3, grid_w / 3 + 2);
+    scene.background.resize(static_cast<size_t>(frames) * scene.bg_h *
+                            scene.bg_w * kGroupDim);
+
+    // Frame 0 background, then drift.
+    const double bg_mag = 0.5;
+    for (int y = 0; y < scene.bg_h; ++y) {
+        for (int x = 0; x < scene.bg_w; ++x) {
+            for (int i = 0; i < kGroupDim; ++i) {
+                const size_t idx =
+                    ((static_cast<size_t>(y)) * scene.bg_w + x) *
+                    kGroupDim + i;
+                scene.background[idx] =
+                    static_cast<float>(rng.gaussian(0.0, bg_mag));
+            }
+        }
+    }
+    const size_t frame_elems =
+        static_cast<size_t>(scene.bg_h) * scene.bg_w * kGroupDim;
+    for (int f = 1; f < frames; ++f) {
+        for (size_t i = 0; i < frame_elems; ++i) {
+            const float prev =
+                scene.background[(f - 1) * frame_elems + i];
+            scene.background[f * frame_elems + i] = prev +
+                static_cast<float>(rng.gaussian(0.0, background_drift));
+        }
+    }
+
+    // Objects.
+    const int target_type = static_cast<int>(rng.uniformInt(kNumTypes));
+    for (int i = 0; i < num_objects; ++i) {
+        SceneObject obj;
+        obj.type_id = static_cast<int>(rng.uniformInt(kNumTypes));
+        obj.color_id = static_cast<int>(rng.uniformInt(kNumColors));
+        // The first object is the question target.
+        if (i == 0) {
+            obj.type_id = target_type;
+        } else if (obj.type_id == target_type) {
+            // Avoid accidental distractors; one may be added below.
+            obj.type_id = (obj.type_id + 1) % kNumTypes;
+        }
+        obj.y0 = rng.uniform(1.0, grid_h - 1.0);
+        obj.x0 = rng.uniform(1.0, grid_w - 1.0);
+        obj.vy = snapHalf(rng.gaussian(0.0, motion_scale));
+        obj.vx = snapHalf(rng.gaussian(0.0, motion_scale));
+        // Keep the object inside the frame over the clip.
+        const double end_y = obj.y0 + obj.vy * (frames - 1);
+        const double end_x = obj.x0 + obj.vx * (frames - 1);
+        if (end_y < 0.5 || end_y > grid_h - 0.5) {
+            obj.vy = -obj.vy;
+        }
+        if (end_x < 0.5 || end_x > grid_w - 0.5) {
+            obj.vx = -obj.vx;
+        }
+        obj.radius = rng.uniform(0.9, 1.5);
+        obj.intensity = rng.uniform(1.4, 2.0);
+        obj.signature.assign(static_cast<size_t>(kGroupDim), 0.0f);
+        const auto &tp = bank.type(obj.type_id);
+        const auto &cp = bank.color(obj.color_id);
+        auto inst = randomUnit(rng, kGroupDim);
+        for (int k = 0; k < kGroupDim; ++k) {
+            obj.signature[static_cast<size_t>(k)] =
+                1.0f * tp[static_cast<size_t>(k)] +
+                0.95f * cp[static_cast<size_t>(k)] +
+                0.22f * inst[static_cast<size_t>(k)];
+        }
+        scene.objects.push_back(std::move(obj));
+    }
+    scene.target_object = 0;
+
+    // Optional same-type distractor with a different color: makes the
+    // question ambiguous for a model that loses spatial grounding.
+    if (num_objects >= 2 && rng.bernoulli(distractor_prob)) {
+        const int di = 1 + static_cast<int>(
+            rng.uniformInt(static_cast<uint64_t>(num_objects - 1)));
+        SceneObject &d = scene.objects[static_cast<size_t>(di)];
+        d.type_id = target_type;
+        int other_color = static_cast<int>(rng.uniformInt(kNumColors));
+        if (other_color == scene.objects[0].color_id) {
+            other_color = (other_color + 1) % kNumColors;
+        }
+        d.color_id = other_color;
+        const auto &tp = bank.type(d.type_id);
+        const auto &cp = bank.color(d.color_id);
+        auto inst = randomUnit(rng, kGroupDim);
+        for (int k = 0; k < kGroupDim; ++k) {
+            d.signature[static_cast<size_t>(k)] =
+                1.0f * tp[static_cast<size_t>(k)] +
+                0.95f * cp[static_cast<size_t>(k)] +
+                0.22f * inst[static_cast<size_t>(k)];
+        }
+        scene.distractor = di;
+    }
+
+    return scene;
+}
+
+} // namespace focus

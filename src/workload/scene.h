@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Synthetic scene model: attribute prototypes and moving objects.
+ *
+ * A scene is a set of foreground objects moving over a drifting
+ * background.  Each object carries two categorical attributes (a
+ * "type", e.g. the terrier of Fig. 1, and a "color"); the question
+ * generator asks for the color of an object of a given type, so
+ * ground truth is known by construction.  Token embeddings are
+ * composed of four quadrant sub-features sampled from a continuous
+ * content field, which gives the *sub-token* structure the paper's
+ * vector-level matching exploits: when an object moves by half a
+ * patch, whole quadrant groups shift between neighbouring tokens, so
+ * vector-granularity comparisons find matches that token-granularity
+ * comparisons miss (Fig. 1(c) / Fig. 2(b)).
+ */
+
+#ifndef FOCUS_WORKLOAD_SCENE_H
+#define FOCUS_WORKLOAD_SCENE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace focus
+{
+
+/** Sub-feature dimensionality of one quadrant group. */
+constexpr int kGroupDim = 16;
+
+/** Quadrant groups per token (hidden = kNumGroups * kGroupDim). */
+constexpr int kNumGroups = 4;
+
+/** Number of distinct object types ("terrier", "car", ...). */
+constexpr int kNumTypes = 8;
+
+/** Number of distinct color values. */
+constexpr int kNumColors = 6;
+
+/**
+ * Fixed banks of unit-norm prototype vectors for the categorical
+ * attributes.  Shared across all samples of an experiment so the
+ * "model" can be said to know them.
+ */
+class PrototypeBank
+{
+  public:
+    explicit PrototypeBank(uint64_t seed);
+
+    /** Type prototype t in [0, kNumTypes). */
+    const std::vector<float> &type(int t) const;
+
+    /** Color prototype c in [0, kNumColors). */
+    const std::vector<float> &color(int c) const;
+
+    /**
+     * Classify a group_dim readout vector as a color by maximum dot
+     * product against the color bank.
+     */
+    int classifyColor(const float *v) const;
+
+    /**
+     * Lift a group_dim prototype to a full hidden-dim embedding by
+     * tiling it across quadrant groups.
+     */
+    Tensor liftToHidden(const std::vector<float> &proto, int hidden) const;
+
+  private:
+    std::vector<std::vector<float>> types_;
+    std::vector<std::vector<float>> colors_;
+};
+
+/** One foreground object. */
+struct SceneObject
+{
+    int type_id = 0;
+    int color_id = 0;
+    double y0 = 0.0;     ///< initial center row (patch units)
+    double x0 = 0.0;     ///< initial center col
+    double vy = 0.0;     ///< row velocity (patches/frame)
+    double vx = 0.0;     ///< col velocity
+    double radius = 1.2; ///< Gaussian footprint sigma (patches)
+    double intensity = 1.0;
+    std::vector<float> signature; ///< group_dim content vector
+
+    /** Object center at frame f. */
+    double centerY(int f) const { return y0 + vy * f; }
+    double centerX(int f) const { return x0 + vx * f; }
+};
+
+/** A full scene: objects + background control field. */
+struct Scene
+{
+    std::vector<SceneObject> objects;
+    int target_object = 0;   ///< index of the queried object
+    int distractor = -1;     ///< index of same-type distractor, or -1
+
+    /**
+     * Background control grid, (frames x bg_h x bg_w x group_dim)
+     * flattened; bilinearly interpolated at sample points.
+     */
+    std::vector<float> background;
+    int bg_h = 0;
+    int bg_w = 0;
+    int frames = 0;
+
+    /** Background sub-feature at continuous position (y, x), frame f. */
+    void backgroundAt(int f, double y, double x, int grid_h, int grid_w,
+                      float *out) const;
+
+    /**
+     * Full content field at continuous position: background plus all
+     * object contributions.  @p out has kGroupDim entries.
+     */
+    void contentAt(int f, double y, double x, int grid_h, int grid_w,
+                   float *out) const;
+};
+
+/**
+ * Build a random scene.
+ *
+ * @param rng           random stream
+ * @param bank          attribute prototypes
+ * @param frames        number of frames
+ * @param grid_h/grid_w patch grid
+ * @param num_objects   foreground object count
+ * @param motion_scale  velocity magnitude scale (patches/frame);
+ *                      velocities snap to multiples of 0.5 so motion
+ *                      aligns with quadrant anchors
+ * @param background_drift per-frame background perturbation
+ * @param distractor_prob probability of a same-type distractor
+ */
+Scene makeScene(Rng &rng, const PrototypeBank &bank, int frames,
+                int grid_h, int grid_w, int num_objects,
+                double motion_scale, double background_drift,
+                double distractor_prob);
+
+} // namespace focus
+
+#endif // FOCUS_WORKLOAD_SCENE_H

@@ -1,0 +1,126 @@
+#include "workload/video_gen.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace focus
+{
+
+VideoGenerator::VideoGenerator(const DatasetProfile &dataset,
+                               const ModelProfile &model, uint64_t seed)
+    : dataset_(dataset), model_(model), seed_(seed),
+      bank_(seed ^ 0xa1b2c3d4e5f60718ull)
+{
+    if (model_.hidden != kNumGroups * kGroupDim) {
+        // The quadrant construction fixes hidden = 4 * 16; other
+        // widths would need a different group layout.
+        fatal("VideoGenerator: model hidden %d != %d",
+              model_.hidden, kNumGroups * kGroupDim);
+    }
+}
+
+VideoSample
+VideoGenerator::sample(uint64_t index) const
+{
+    Rng rng = Rng(seed_).fork(0x5eedull + index);
+
+    const int F = dataset_.frames;
+    const int H = dataset_.grid_h;
+    const int W = dataset_.grid_w;
+    const int D = model_.hidden;
+    const int T = model_.text_tokens;
+
+    Scene scene = makeScene(rng, bank_, F, H, W, dataset_.num_objects,
+                            dataset_.motion_scale,
+                            dataset_.background_drift,
+                            dataset_.distractor_prob);
+
+    VideoSample s;
+    s.frames = F;
+    s.grid_h = H;
+    s.grid_w = W;
+    s.visual_tokens = Tensor(static_cast<int64_t>(F) * H * W, D);
+    s.coords.resize(static_cast<size_t>(F) * H * W);
+
+    // Quadrant anchors inside a patch, matching the four groups.
+    static const double anchor_y[kNumGroups] = {0.25, 0.25, 0.75, 0.75};
+    static const double anchor_x[kNumGroups] = {0.25, 0.75, 0.25, 0.75};
+
+    float content[kGroupDim];
+    for (int f = 0; f < F; ++f) {
+        for (int r = 0; r < H; ++r) {
+            for (int c = 0; c < W; ++c) {
+                const int64_t idx = s.tokenIndex(f, r, c);
+                s.coords[static_cast<size_t>(idx)] = TokenCoord{f, r, c};
+                float *row = s.visual_tokens.row(idx);
+                for (int g = 0; g < kNumGroups; ++g) {
+                    scene.contentAt(f, r + anchor_y[g], c + anchor_x[g],
+                                    H, W, content);
+                    for (int k = 0; k < kGroupDim; ++k) {
+                        row[g * kGroupDim + k] = content[k] +
+                            static_cast<float>(rng.gaussian(
+                                0.0, dataset_.feature_noise)) +
+                            static_cast<float>(rng.gaussian(
+                                0.0, dataset_.temporal_jitter));
+                    }
+                }
+            }
+        }
+    }
+    s.visual_tokens.roundToFp16();
+
+    // Prompt: filler tokens plus one query token that carries the
+    // target type prototype (this is what cross-modal attention keys
+    // on, cf. the prompt-dependent heatmaps of Fig. 2(a)).
+    const SceneObject &target =
+        scene.objects[static_cast<size_t>(scene.target_object)];
+    s.target_type = target.type_id;
+    s.answer_color = target.color_id;
+
+    s.text_tokens = Tensor(T, D);
+    for (int t = 0; t < T; ++t) {
+        float *row = s.text_tokens.row(t);
+        for (int d = 0; d < D; ++d) {
+            row[d] = static_cast<float>(rng.gaussian(0.0, 0.25));
+        }
+    }
+    s.query_token = T - 1;
+    const Tensor query =
+        bank_.liftToHidden(bank_.type(s.target_type), D);
+    float *qrow = s.text_tokens.row(s.query_token);
+    for (int d = 0; d < D; ++d) {
+        qrow[d] = 1.6f * query(d) +
+            static_cast<float>(rng.gaussian(0.0, 0.05));
+    }
+    s.text_tokens.roundToFp16();
+
+    // Relevant tokens: patches within ~1.5 sigma of an object's
+    // center in any frame.
+    auto coverage = [&](const SceneObject &obj,
+                        std::vector<int64_t> &out) {
+        for (int f = 0; f < F; ++f) {
+            const double cy = obj.centerY(f);
+            const double cx = obj.centerX(f);
+            for (int r = 0; r < H; ++r) {
+                for (int c = 0; c < W; ++c) {
+                    const double dy = (r + 0.5) - cy;
+                    const double dx = (c + 0.5) - cx;
+                    if (dy * dy + dx * dx <=
+                        2.25 * obj.radius * obj.radius) {
+                        out.push_back(s.tokenIndex(f, r, c));
+                    }
+                }
+            }
+        }
+    };
+    coverage(target, s.relevant_tokens);
+    if (scene.distractor >= 0) {
+        coverage(scene.objects[static_cast<size_t>(scene.distractor)],
+                 s.distractor_tokens);
+    }
+
+    return s;
+}
+
+} // namespace focus

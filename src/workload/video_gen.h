@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Video sample generation: scene -> tokens + prompt + ground truth.
+ */
+
+#ifndef FOCUS_WORKLOAD_VIDEO_GEN_H
+#define FOCUS_WORKLOAD_VIDEO_GEN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "workload/profiles.h"
+#include "workload/scene.h"
+
+namespace focus
+{
+
+/** (frame, row, col) coordinate of a visual token. */
+struct TokenCoord
+{
+    int f = 0;
+    int r = 0;
+    int c = 0;
+
+    bool
+    operator==(const TokenCoord &o) const
+    {
+        return f == o.f && r == o.r && c == o.c;
+    }
+};
+
+/**
+ * One QA sample: visual tokens, prompt tokens, and metadata needed to
+ * score an answer.
+ */
+struct VideoSample
+{
+    Tensor visual_tokens;   ///< (M x hidden), fp16-rounded
+    Tensor text_tokens;     ///< (T x hidden), fp16-rounded
+    std::vector<TokenCoord> coords; ///< per visual token
+
+    int frames = 0;
+    int grid_h = 0;
+    int grid_w = 0;
+
+    int query_token = 0;    ///< index (within text) of the query token
+    int target_type = 0;
+    int answer_color = 0;   ///< ground truth
+    /** Visual-token indices covering the target object (any frame). */
+    std::vector<int64_t> relevant_tokens;
+
+    /**
+     * Tokens covering a same-type distractor object, if the scene
+     * has one.  Attention that lands here is semantically grounded
+     * (the question is ambiguous), even though the answer readout
+     * will be wrong.
+     */
+    std::vector<int64_t> distractor_tokens;
+
+    int64_t numVisual() const { return visual_tokens.rows(); }
+    int64_t numText() const { return text_tokens.rows(); }
+
+    /** Flat token index for (f, r, c). */
+    int64_t
+    tokenIndex(int f, int r, int c) const
+    {
+        return (static_cast<int64_t>(f) * grid_h + r) * grid_w + c;
+    }
+};
+
+/**
+ * Deterministic generator of QA samples for a (dataset, model)
+ * profile pair.  Sample @p i from a given generator is always the
+ * same scene, so methods compared on the same generator see the same
+ * inputs.
+ */
+class VideoGenerator
+{
+  public:
+    VideoGenerator(const DatasetProfile &dataset, const ModelProfile &model,
+                   uint64_t seed);
+
+    /** Generate the i-th sample. */
+    VideoSample sample(uint64_t index) const;
+
+    const PrototypeBank &bank() const { return bank_; }
+    const DatasetProfile &dataset() const { return dataset_; }
+    const ModelProfile &model() const { return model_; }
+
+  private:
+    DatasetProfile dataset_;
+    ModelProfile model_;
+    uint64_t seed_;
+    PrototypeBank bank_;
+};
+
+} // namespace focus
+
+#endif // FOCUS_WORKLOAD_VIDEO_GEN_H

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Tests for the baseline token-reduction methods: AdapTiV, CMC,
+ * FrameFusion.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/adaptiv.h"
+#include "baselines/cmc.h"
+#include "baselines/framefusion.h"
+#include "common/rng.h"
+#include "workload/profiles.h"
+#include "workload/video_gen.h"
+
+namespace focus
+{
+namespace
+{
+
+/** Validity checks shared by all reductions. */
+void
+checkReduction(const TokenReduction &red, int64_t m)
+{
+    ASSERT_EQ(static_cast<int64_t>(red.assign.size()), m);
+    std::vector<bool> kept(static_cast<size_t>(m), false);
+    for (int64_t k : red.kept) {
+        ASSERT_GE(k, 0);
+        ASSERT_LT(k, m);
+        kept[static_cast<size_t>(k)] = true;
+    }
+    // Kept list ascending and unique.
+    for (size_t i = 1; i < red.kept.size(); ++i) {
+        EXPECT_LT(red.kept[i - 1], red.kept[i]);
+    }
+    for (int64_t i = 0; i < m; ++i) {
+        const int64_t rep = red.assign[static_cast<size_t>(i)];
+        if (rep >= 0) {
+            EXPECT_TRUE(kept[static_cast<size_t>(rep)])
+                << "token " << i << " assigned to non-kept " << rep;
+        }
+    }
+}
+
+VideoSample
+makeSample(const char *dataset, uint64_t seed = 3)
+{
+    const DatasetProfile dp = datasetProfile(dataset);
+    const ModelProfile mp = modelProfile("Llava-Vid");
+    const VideoGenerator gen(dp, mp, seed);
+    return gen.sample(0);
+}
+
+TEST(Adaptiv, SignAgreementBounds)
+{
+    const float a[4] = {1, -1, 1, -1};
+    const float b[4] = {1, -1, 1, -1};
+    const float c[4] = {-1, 1, -1, 1};
+    EXPECT_DOUBLE_EQ(signAgreement(a, b, 4), 1.0);
+    EXPECT_DOUBLE_EQ(signAgreement(a, c, 4), 0.0);
+}
+
+TEST(Adaptiv, IdenticalTokensMergeToOnePerFrame)
+{
+    Tensor x(8, 16);
+    for (int64_t i = 0; i < 8; ++i) {
+        for (int64_t j = 0; j < 16; ++j) {
+            x(i, j) = j % 2 == 0 ? 1.0f : -1.0f;
+        }
+    }
+    std::vector<TokenCoord> coords;
+    for (int f = 0; f < 2; ++f) {
+        for (int r = 0; r < 2; ++r) {
+            for (int c = 0; c < 2; ++c) {
+                coords.push_back(TokenCoord{f, r, c});
+            }
+        }
+    }
+    AdaptivConfig cfg;
+    const TokenReduction red = adaptivReduce(x, coords, 2, 2, 2, cfg);
+    checkReduction(red, 8);
+    // Intra-frame only: one survivor per frame.
+    EXPECT_EQ(red.kept.size(), 2u);
+}
+
+TEST(Adaptiv, ThresholdMonotonic)
+{
+    const VideoSample s = makeSample("VideoMME");
+    double prev_keep = 0.0;
+    for (double th : {0.60, 0.70, 0.80, 0.95}) {
+        AdaptivConfig cfg;
+        cfg.sign_threshold = th;
+        const TokenReduction red =
+            adaptivReduce(s.visual_tokens, s.coords, s.frames,
+                          s.grid_h, s.grid_w, cfg);
+        checkReduction(red, s.numVisual());
+        EXPECT_GE(red.keepFraction() + 1e-12, prev_keep);
+        prev_keep = red.keepFraction();
+    }
+}
+
+TEST(Cmc, StaticVideoKeepsOnlyFrameZero)
+{
+    // Identical frames: every token in frames > 0 inter-codes to its
+    // frame-0 ancestor.
+    const int f = 3, h = 3, w = 3;
+    Tensor x(f * h * w, 16);
+    Rng rng(1);
+    for (int64_t i = 0; i < h * w; ++i) {
+        for (int64_t j = 0; j < 16; ++j) {
+            x(i, j) = static_cast<float>(rng.gaussian());
+        }
+    }
+    for (int64_t ff = 1; ff < f; ++ff) {
+        for (int64_t i = 0; i < h * w; ++i) {
+            for (int64_t j = 0; j < 16; ++j) {
+                x(ff * h * w + i, j) = x(i, j);
+            }
+        }
+    }
+    std::vector<TokenCoord> coords;
+    for (int ff = 0; ff < f; ++ff) {
+        for (int r = 0; r < h; ++r) {
+            for (int c = 0; c < w; ++c) {
+                coords.push_back(TokenCoord{ff, r, c});
+            }
+        }
+    }
+    CmcConfig cfg;
+    const TokenReduction red = cmcReduce(x, coords, f, h, w, cfg);
+    checkReduction(red, f * h * w);
+    EXPECT_EQ(red.kept.size(), static_cast<size_t>(h * w));
+    // Chains resolve to frame 0, not frame f-1.
+    for (int64_t i = (f - 1) * h * w; i < f * h * w; ++i) {
+        EXPECT_LT(red.assign[static_cast<size_t>(i)], h * w);
+    }
+}
+
+TEST(Cmc, MotionSearchFindsShiftedContent)
+{
+    // Frame 1 is frame 0 shifted right by one column; direct
+    // same-position SAD is large but the search window finds it.
+    const int h = 4, w = 6;
+    Tensor x(2 * h * w, 16);
+    Rng rng(2);
+    for (int64_t i = 0; i < h * w; ++i) {
+        for (int64_t j = 0; j < 16; ++j) {
+            x(i, j) = static_cast<float>(rng.gaussian(0.0, 2.0));
+        }
+    }
+    for (int r = 0; r < h; ++r) {
+        for (int c = 1; c < w; ++c) {
+            for (int64_t j = 0; j < 16; ++j) {
+                x(h * w + r * w + c, j) = x(r * w + (c - 1), j);
+            }
+        }
+    }
+    std::vector<TokenCoord> coords;
+    for (int f = 0; f < 2; ++f) {
+        for (int r = 0; r < h; ++r) {
+            for (int c = 0; c < w; ++c) {
+                coords.push_back(TokenCoord{f, r, c});
+            }
+        }
+    }
+    CmcConfig cfg;
+    cfg.sad_threshold = 0.05;
+    const TokenReduction red = cmcReduce(x, coords, 2, h, w, cfg);
+    checkReduction(red, 2 * h * w);
+    // All shifted tokens (c >= 1 in frame 1) matched.
+    int matched = 0;
+    for (int r = 0; r < h; ++r) {
+        for (int c = 1; c < w; ++c) {
+            const int64_t i = h * w + r * w + c;
+            matched += red.assign[static_cast<size_t>(i)] != i ? 1 : 0;
+        }
+    }
+    EXPECT_EQ(matched, h * (w - 1));
+}
+
+TEST(Cmc, NormalizedSadProperties)
+{
+    const float a[4] = {1, 1, 1, 1};
+    const float b[4] = {1, 1, 1, 1};
+    EXPECT_DOUBLE_EQ(normalizedSad(a, b, 4), 0.0);
+    const float c[4] = {2, 2, 2, 2};
+    EXPECT_DOUBLE_EQ(normalizedSad(a, c, 4), 1.0);
+}
+
+TEST(FrameFusion, BudgetRespected)
+{
+    const VideoSample s = makeSample("VideoMME");
+    FrameFusionConfig cfg;
+    cfg.reduction = 0.70;
+    const TokenReduction red =
+        frameFusionReduce(s.visual_tokens, s.coords, s.frames,
+                          s.grid_h, s.grid_w, cfg);
+    checkReduction(red, s.numVisual());
+    EXPECT_NEAR(red.keepFraction(), 0.30, 0.05);
+}
+
+TEST(FrameFusion, ZeroReductionIsIdentity)
+{
+    const VideoSample s = makeSample("MVBench");
+    FrameFusionConfig cfg;
+    cfg.reduction = 0.0;
+    const TokenReduction red =
+        frameFusionReduce(s.visual_tokens, s.coords, s.frames,
+                          s.grid_h, s.grid_w, cfg);
+    EXPECT_EQ(red.kept.size(),
+              static_cast<size_t>(s.numVisual()));
+}
+
+class FrameFusionSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(FrameFusionSweep, KeepMatchesBudgetAcrossLevels)
+{
+    const VideoSample s = makeSample("MLVU", 11);
+    FrameFusionConfig cfg;
+    cfg.reduction = GetParam();
+    const TokenReduction red =
+        frameFusionReduce(s.visual_tokens, s.coords, s.frames,
+                          s.grid_h, s.grid_w, cfg);
+    checkReduction(red, s.numVisual());
+    EXPECT_NEAR(red.keepFraction(), 1.0 - GetParam(), 0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, FrameFusionSweep,
+                         ::testing::Values(0.3, 0.5, 0.7, 0.8));
+
+TEST(IdentityReduction, IsIdentity)
+{
+    const TokenReduction red = identityReduction(5);
+    EXPECT_EQ(red.kept.size(), 5u);
+    for (int64_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(red.assign[static_cast<size_t>(i)], i);
+    }
+    EXPECT_DOUBLE_EQ(red.keepFraction(), 1.0);
+}
+
+} // namespace
+} // namespace focus

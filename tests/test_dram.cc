@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the DDR4 DRAM model: row-buffer behaviour, address
+ * mapping, stream-mode calibration, energy accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/dram.h"
+
+namespace focus
+{
+namespace
+{
+
+TEST(Dram, RowHitCheaperThanMiss)
+{
+    DramConfig cfg;
+    DramModel dram(cfg);
+    const uint64_t first = dram.access(0, 64, false);   // row miss
+    const uint64_t second = dram.access(64 * 4, 64, false); // same row?
+    // First access activates; cost includes tRCD.
+    EXPECT_GT(first, static_cast<uint64_t>(cfg.t_bl));
+    // Accessing the same channel's row again is hit-priced.
+    (void)second;
+    const uint64_t third = dram.access(0, 64, false);
+    EXPECT_EQ(third, static_cast<uint64_t>(cfg.t_bl));
+}
+
+TEST(Dram, ConsecutiveBurstsInterleaveChannels)
+{
+    DramConfig cfg;
+    DramModel dram(cfg);
+    dram.access(0, 64, false);
+    dram.access(64, 64, false);
+    dram.access(128, 64, false);
+    dram.access(192, 64, false);
+    // Four consecutive bursts hit four distinct channels, so each is
+    // a fresh row in its own bank: 4 row misses.
+    EXPECT_EQ(dram.stats.get("row_miss_rd"), 4u);
+}
+
+TEST(Dram, RowMissAfterConflict)
+{
+    DramConfig cfg;
+    DramModel dram(cfg);
+    // Same channel and bank, different row: row_bytes * channels *
+    // banks apart.
+    const uint64_t stride = static_cast<uint64_t>(cfg.row_bytes) *
+        cfg.channels * cfg.banks_per_channel;
+    dram.access(0, 64, false);
+    dram.access(stride, 64, false);
+    dram.access(0, 64, false);
+    EXPECT_EQ(dram.stats.get("row_miss_rd"), 3u);
+}
+
+TEST(Dram, StreamEfficiencyInBand)
+{
+    DramConfig cfg;
+    DramModel dram(cfg);
+    const double eff = dram.streamEfficiency();
+    EXPECT_GT(eff, 0.80);
+    EXPECT_LE(eff, 1.0);
+}
+
+TEST(Dram, StreamCyclesMatchBandwidth)
+{
+    DramConfig cfg;
+    DramModel dram(cfg);
+    const uint64_t bytes = 1 << 20;
+    const double peak = cfg.bytes_per_cycle_per_channel * cfg.channels;
+    const uint64_t cycles = dram.streamCycles(bytes);
+    EXPECT_GE(cycles, static_cast<uint64_t>(bytes / peak));
+    EXPECT_LE(cycles, static_cast<uint64_t>(1.3 * bytes / peak));
+}
+
+TEST(Dram, StreamModeConsistentWithRequestMode)
+{
+    // For a large contiguous read, request-mode busy cycles summed
+    // across channels should be close to stream-mode cycles * channels
+    // (request mode serializes what stream mode overlaps; compare
+    // per-channel occupancy).
+    DramConfig cfg;
+    DramModel req(cfg);
+    const uint64_t bytes = 512 * 1024;
+    uint64_t busy = 0;
+    for (uint64_t a = 0; a < bytes; a += 64) {
+        busy += req.access(a, 64, false);
+    }
+    DramModel strm(cfg);
+    const uint64_t stream = strm.streamCycles(bytes) * cfg.channels;
+    EXPECT_NEAR(static_cast<double>(busy),
+                static_cast<double>(stream),
+                0.25 * static_cast<double>(stream));
+}
+
+TEST(Dram, EnergyGrowsWithTraffic)
+{
+    DramConfig cfg;
+    DramModel dram(cfg);
+    dram.addStreamEnergy(1 << 20);
+    const double e1 = dram.dynamicEnergyJ();
+    dram.addStreamEnergy(1 << 20);
+    const double e2 = dram.dynamicEnergyJ();
+    EXPECT_GT(e1, 0.0);
+    EXPECT_NEAR(e2, 2.0 * e1, 1e-12);
+}
+
+TEST(Dram, BackgroundEnergyScalesWithTime)
+{
+    DramConfig cfg;
+    DramModel dram(cfg);
+    const double e = dram.backgroundEnergyJ(500000000, 0.5); // 1 s
+    EXPECT_NEAR(e, cfg.p_background_mw * 1e-3, 1e-9);
+}
+
+TEST(Dram, ResetClearsState)
+{
+    DramConfig cfg;
+    DramModel dram(cfg);
+    dram.access(0, 4096, true);
+    dram.reset();
+    EXPECT_EQ(dram.totalBytes(), 0u);
+    EXPECT_EQ(dram.dynamicEnergyJ(), 0.0);
+}
+
+} // namespace
+} // namespace focus

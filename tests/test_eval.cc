@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the evaluation pipeline: aggregation correctness, trace
+ * sparsity accounting, FrameFusion budget solving, method naming,
+ * and cross-run determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "eval/evaluator.h"
+
+namespace focus
+{
+namespace
+{
+
+EvalOptions
+quick(int samples = 2)
+{
+    EvalOptions o;
+    o.samples = samples;
+    o.seed = 777;
+    return o;
+}
+
+TEST(MethodConfig, NamesAreDistinct)
+{
+    EXPECT_EQ(MethodConfig::dense().name(), "Dense");
+    EXPECT_EQ(MethodConfig::focusFull().name(), "Focus");
+    EXPECT_EQ(MethodConfig::focusSecOnly().name(), "Focus-SEC");
+    EXPECT_EQ(MethodConfig::focusSicOnly().name(), "Focus-SIC");
+    EXPECT_EQ(MethodConfig::focusTokenWise().name(),
+              "Focus-TokenWise");
+    EXPECT_EQ(MethodConfig::adaptivBaseline().name(), "AdapTiV");
+    EXPECT_EQ(MethodConfig::cmcBaseline().name(), "CMC");
+    EXPECT_EQ(MethodConfig::frameFusionBaseline().name(),
+              "FrameFusion");
+    MethodConfig q = MethodConfig::focusFull();
+    q.int8 = true;
+    EXPECT_EQ(q.name(), "Focus-INT8");
+}
+
+TEST(Evaluator, DeterministicAcrossInstances)
+{
+    Evaluator a("Llava-Vid", "MVBench", quick());
+    Evaluator b("Llava-Vid", "MVBench", quick());
+    const MethodEval ea = a.runFunctional(MethodConfig::focusFull());
+    const MethodEval eb = b.runFunctional(MethodConfig::focusFull());
+    EXPECT_DOUBLE_EQ(ea.accuracy, eb.accuracy);
+    EXPECT_DOUBLE_EQ(ea.sparsity, eb.sparsity);
+    ASSERT_EQ(ea.agg.psi_oproj.size(), eb.agg.psi_oproj.size());
+    for (size_t i = 0; i < ea.agg.psi_oproj.size(); ++i) {
+        EXPECT_DOUBLE_EQ(ea.agg.psi_oproj[i], eb.agg.psi_oproj[i]);
+    }
+}
+
+TEST(Evaluator, ModelsSeeDistinctWorkloads)
+{
+    Evaluator a("Llava-Vid", "MVBench", quick());
+    Evaluator b("Llava-OV", "MVBench", quick());
+    const MethodEval ea = a.runFunctional(MethodConfig::focusFull());
+    const MethodEval eb = b.runFunctional(MethodConfig::focusFull());
+    // Different profiles -> different measured concentration.
+    EXPECT_NE(ea.agg.psi_oproj.front(), eb.agg.psi_oproj.front());
+}
+
+TEST(Evaluator, AggregateLayerCountsMatchProfile)
+{
+    Evaluator ev("Llava-Vid", "MVBench", quick());
+    const MethodEval e = ev.runFunctional(MethodConfig::focusFull());
+    const int layers = ev.modelProfile().layers;
+    EXPECT_EQ(e.agg.reduced_layers, layers);
+    EXPECT_EQ(static_cast<int>(e.agg.keep_in.size()), layers);
+    EXPECT_EQ(static_cast<int>(e.agg.keep_out.size()), layers);
+    EXPECT_EQ(e.agg.samples, 2);
+    // keep_in is non-increasing under SEC.
+    for (size_t l = 1; l < e.agg.keep_in.size(); ++l) {
+        EXPECT_LE(e.agg.keep_in[l], e.agg.keep_in[l - 1] + 1e-9);
+    }
+}
+
+TEST(Evaluator, TraceSparsityZeroForDense)
+{
+    Evaluator ev("Llava-Vid", "MVBench", quick());
+    const MethodEval e = ev.runFunctional(MethodConfig::dense());
+    EXPECT_NEAR(ev.traceSparsity(MethodConfig::dense(), e), 0.0, 1e-9);
+}
+
+class FfBudget : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(FfBudget, SolverHitsTarget)
+{
+    Evaluator ev("Llava-Vid", "VideoMME", quick());
+    const double target = GetParam();
+    const double reduction = ev.frameFusionReductionFor(target);
+    EXPECT_GT(reduction, 0.0);
+    EXPECT_LT(reduction, 1.0);
+    // Verify by running FrameFusion with that reduction.
+    MethodConfig ff = MethodConfig::frameFusionBaseline();
+    ff.framefusion.reduction = reduction;
+    const MethodEval e = ev.runFunctional(ff);
+    EXPECT_NEAR(ev.traceSparsity(ff, e), target, 0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, FfBudget,
+                         ::testing::Values(0.5, 0.6, 0.7, 0.8));
+
+TEST(Evaluator, StandardMethodsRoster)
+{
+    Evaluator ev("Llava-Vid", "MVBench", quick());
+    const auto methods = ev.standardMethods();
+    ASSERT_EQ(methods.size(), 5u);
+    EXPECT_EQ(methods[0].kind, MethodKind::Dense);
+    EXPECT_EQ(methods[1].kind, MethodKind::FrameFusion);
+    EXPECT_EQ(methods[4].kind, MethodKind::Focus);
+}
+
+TEST(Evaluator, SimulateProducesConsistentEval)
+{
+    Evaluator ev("Llava-Vid", "MVBench", quick());
+    MethodEval out;
+    const RunMetrics rm = ev.simulate(MethodConfig::focusFull(),
+                                      AccelConfig::focus(), &out);
+    EXPECT_GT(rm.cycles, 0u);
+    EXPECT_EQ(out.method, "Focus");
+    EXPECT_GT(out.agg.tile_fracs.size(), 0u);
+}
+
+TEST(Evaluator, MiniCpmHasFewerFullScaleTokens)
+{
+    Evaluator a("Llava-Vid", "VideoMME", quick());
+    Evaluator b("MiniCPM", "VideoMME", quick());
+    const MethodEval ea = a.runFunctional(MethodConfig::dense());
+    const MethodEval eb = b.runFunctional(MethodConfig::dense());
+    const WorkloadTrace ta =
+        a.buildFullTrace(MethodConfig::dense(), ea);
+    const WorkloadTrace tb =
+        b.buildFullTrace(MethodConfig::dense(), eb);
+    EXPECT_LT(tb.visual_original, ta.visual_original);
+    EXPECT_LT(tb.totalMacs(), ta.totalMacs());
+}
+
+TEST(Evaluator, QwenScheduleRetainsMore)
+{
+    // Qwen2.5-VL uses a milder retention schedule (Tbl. V context).
+    const ModelProfile qwen = modelProfile("Qwen2.5-VL");
+    const ModelProfile llava = modelProfile("Llava-OV");
+    EXPECT_GT(qwen.retentionAfterLayer(27, 28),
+              llava.retentionAfterLayer(27, 28));
+}
+
+} // namespace
+} // namespace focus

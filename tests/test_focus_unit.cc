@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the FocusUnit facade: semantic pruning state, gather
+ * delegation, offset encoding, and stats bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "focus/focus_unit.h"
+#include "tensor/ops.h"
+
+namespace focus
+{
+namespace
+{
+
+std::vector<TokenCoord>
+rasterCoords(int f, int h, int w)
+{
+    std::vector<TokenCoord> coords;
+    for (int ff = 0; ff < f; ++ff) {
+        for (int rr = 0; rr < h; ++rr) {
+            for (int cc = 0; cc < w; ++cc) {
+                coords.push_back(TokenCoord{ff, rr, cc});
+            }
+        }
+    }
+    return coords;
+}
+
+/** One attention head where text attends mostly to chosen tokens. */
+Tensor
+headAttending(int64_t visual, int64_t text,
+              const std::vector<int64_t> &favored)
+{
+    Tensor p(visual + text, visual + text);
+    for (int64_t i = visual; i < visual + text; ++i) {
+        float *row = p.row(i);
+        for (int64_t j = 0; j < visual; ++j) {
+            row[j] = 0.001f;
+        }
+        for (int64_t f : favored) {
+            row[f] = 0.5f;
+        }
+    }
+    return p;
+}
+
+TEST(FocusUnit, SemanticPruneKeepsAttendedTokens)
+{
+    FocusConfig cfg;
+    FocusUnit unit(cfg, rasterCoords(2, 2, 2)); // 8 visual tokens
+    const Tensor head = headAttending(8, 2, {3, 5});
+    const auto retained = unit.semanticPrune({head}, 2, 2);
+    EXPECT_EQ(retained, (std::vector<int64_t>{3, 5}));
+    EXPECT_EQ(unit.activeCoords().size(), 2u);
+    EXPECT_EQ(unit.activeOriginal(), (std::vector<int64_t>{3, 5}));
+    EXPECT_DOUBLE_EQ(unit.stats().tokenKeepFraction(), 0.25);
+}
+
+TEST(FocusUnit, SecondPruneComposesWithFirst)
+{
+    FocusConfig cfg;
+    FocusUnit unit(cfg, rasterCoords(2, 2, 2));
+    unit.semanticPrune({headAttending(8, 2, {1, 3, 5, 7})}, 2, 4);
+    // Active set is now {1,3,5,7}; favor positions 1 and 2 of it.
+    const Tensor head2 = headAttending(4, 2, {1, 2});
+    unit.semanticPrune({head2}, 2, 2);
+    EXPECT_EQ(unit.activeOriginal(), (std::vector<int64_t>{3, 5}));
+}
+
+TEST(FocusUnit, DisabledSecKeepsEverything)
+{
+    FocusConfig cfg;
+    cfg.sec_enable = false;
+    FocusUnit unit(cfg, rasterCoords(1, 2, 2));
+    const auto retained =
+        unit.semanticPrune({headAttending(4, 1, {0})}, 1, 1);
+    EXPECT_EQ(retained.size(), 4u);
+    EXPECT_DOUBLE_EQ(unit.stats().tokenKeepFraction(), 1.0);
+}
+
+TEST(FocusUnit, ConcentrateTracksVectorStats)
+{
+    FocusConfig cfg;
+    FocusUnit unit(cfg, rasterCoords(2, 2, 2));
+    Tensor x(8, 32);
+    for (int64_t i = 0; i < 8; ++i) {
+        for (int64_t j = 0; j < 32; ++j) {
+            x(i, j) = 1.0f + 0.01f * static_cast<float>(j);
+        }
+    }
+    const SicResult res = unit.concentrate(x);
+    EXPECT_EQ(res.total_vectors, 8);
+    EXPECT_EQ(res.unique_vectors, 1);
+    EXPECT_DOUBLE_EQ(unit.stats().vectorUniqueFraction(), 1.0 / 8.0);
+}
+
+TEST(FocusUnit, ConcentrateAcceptsTrailingTextRows)
+{
+    FocusConfig cfg;
+    FocusUnit unit(cfg, rasterCoords(1, 1, 2)); // 2 visual tokens
+    Tensor x(4, 32);                            // + 2 text rows
+    for (int64_t i = 0; i < 4; ++i) {
+        for (int64_t j = 0; j < 32; ++j) {
+            x(i, j) = 2.0f;
+        }
+    }
+    // Only the spatial neighbour pair can merge; text rows stay.
+    const SicResult res = unit.concentrate(x);
+    EXPECT_EQ(res.unique_vectors, 3);
+}
+
+TEST(FocusUnit, DisabledSicIsNoop)
+{
+    FocusConfig cfg;
+    cfg.sic_enable = false;
+    FocusUnit unit(cfg, rasterCoords(1, 1, 2));
+    Tensor x(2, 32);
+    x.fill(1.0f);
+    const Tensor before = x;
+    const SicResult res = unit.concentrate(x);
+    EXPECT_EQ(res.total_vectors, 0);
+    EXPECT_LT(maxAbsDiff(x, before), 1e-12); // values untouched
+    EXPECT_DOUBLE_EQ(unit.stats().vectorUniqueFraction(), 1.0);
+}
+
+TEST(FocusUnit, OffsetEncodingRoundTripsActiveSet)
+{
+    FocusConfig cfg;
+    FocusUnit unit(cfg, rasterCoords(2, 2, 2));
+    unit.semanticPrune({headAttending(8, 2, {0, 6})}, 2, 2);
+    const OffsetEncoding enc = unit.offsetEncoding();
+    EXPECT_EQ(decodeOffsets(enc), (std::vector<int64_t>{0, 6}));
+}
+
+TEST(FocusUnit, TopPModeSelectsAdaptively)
+{
+    FocusConfig cfg;
+    cfg.sec.select = SecSelect::TopP;
+    cfg.sec.top_p = 0.9;
+    FocusUnit unit(cfg, rasterCoords(2, 2, 2));
+    // One dominant token: top-p keeps just it, regardless of k.
+    Tensor head(10, 10);
+    for (int64_t i = 8; i < 10; ++i) {
+        for (int64_t j = 0; j < 8; ++j) {
+            head(i, j) = 1e-4f;
+        }
+        head(i, 2) = 0.9f;
+    }
+    const auto retained = unit.semanticPrune({head}, 2, 999);
+    EXPECT_EQ(retained, (std::vector<int64_t>{2}));
+}
+
+} // namespace
+} // namespace focus

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the adaptive SEC selection extensions (Sec. VII-D future
+ * work): top-p and attention-threshold pruning.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/evaluator.h"
+#include "focus/sec.h"
+
+namespace focus
+{
+namespace
+{
+
+TEST(SecTopP, PeakedDistributionKeepsFew)
+{
+    std::vector<float> imp(100, 0.001f);
+    imp[42] = 10.0f;
+    const auto keep = secTopP(imp, 0.9);
+    EXPECT_EQ(keep.size(), 1u);
+    EXPECT_EQ(keep[0], 42);
+}
+
+TEST(SecTopP, FlatDistributionKeepsMany)
+{
+    std::vector<float> imp(100, 1.0f);
+    const auto keep = secTopP(imp, 0.9);
+    EXPECT_GE(keep.size(), 90u);
+}
+
+TEST(SecTopP, MonotoneInP)
+{
+    Rng rng(3);
+    std::vector<float> imp(200);
+    for (auto &v : imp) {
+        v = static_cast<float>(rng.uniform());
+    }
+    size_t prev = 0;
+    for (double p : {0.5, 0.7, 0.9, 0.99}) {
+        const auto keep = secTopP(imp, p);
+        EXPECT_GE(keep.size(), prev);
+        prev = keep.size();
+    }
+}
+
+TEST(SecTopP, IndicesAscendingAndValid)
+{
+    Rng rng(5);
+    std::vector<float> imp(64);
+    for (auto &v : imp) {
+        v = static_cast<float>(rng.uniform());
+    }
+    const auto keep = secTopP(imp, 0.8);
+    for (size_t i = 1; i < keep.size(); ++i) {
+        EXPECT_LT(keep[i - 1], keep[i]);
+    }
+    EXPECT_FALSE(keep.empty());
+}
+
+TEST(SecTopP, KeepsHighestMassPrefix)
+{
+    // The retained set must be exactly the most-important tokens:
+    // the minimum retained importance >= the maximum dropped one.
+    Rng rng(7);
+    std::vector<float> imp(128);
+    for (auto &v : imp) {
+        v = static_cast<float>(rng.uniform());
+    }
+    const auto keep = secTopP(imp, 0.6);
+    std::vector<bool> kept(imp.size(), false);
+    float min_kept = 1e30f;
+    for (int64_t i : keep) {
+        kept[static_cast<size_t>(i)] = true;
+        min_kept = std::min(min_kept, imp[static_cast<size_t>(i)]);
+    }
+    for (size_t i = 0; i < imp.size(); ++i) {
+        if (!kept[i]) {
+            EXPECT_LE(imp[i], min_kept);
+        }
+    }
+}
+
+TEST(SecThreshold, KeepsAboveFractionOfMax)
+{
+    std::vector<float> imp = {0.1f, 1.0f, 0.04f, 0.5f, 0.06f};
+    const auto keep = secThreshold(imp, 0.05);
+    EXPECT_EQ(keep, (std::vector<int64_t>{0, 1, 3, 4}));
+}
+
+TEST(SecThreshold, AlwaysKeepsArgmax)
+{
+    std::vector<float> imp = {0.2f, 0.9f, 0.3f};
+    const auto keep = secThreshold(imp, 1.0); // cut above everything
+    EXPECT_EQ(keep, (std::vector<int64_t>{1}));
+}
+
+TEST(SecAdaptive, TopPVariesRetentionAcrossSamples)
+{
+    // The paper's caveat: adaptive pruning introduces runtime
+    // variation across inputs.  Retained counts should differ
+    // between samples under top-p while being constant under top-k.
+    EvalOptions opts;
+    opts.samples = 1;
+    Evaluator ev("Llava-Vid", "VideoMME", opts);
+
+    MethodConfig topp = MethodConfig::focusFull();
+    topp.focus.sec.select = SecSelect::TopP;
+    topp.focus.sec.top_p = 0.92;
+
+    std::vector<int64_t> finals;
+    for (uint64_t s = 0; s < 4; ++s) {
+        const VideoSample sample = ev.generator().sample(s);
+        const ForwardResult r =
+            ev.model().forward(sample, topp, ev.generator().bank());
+        finals.push_back(r.layers.back().visual_out);
+    }
+    bool varies = false;
+    for (size_t i = 1; i < finals.size(); ++i) {
+        varies = varies || finals[i] != finals[0];
+    }
+    EXPECT_TRUE(varies);
+}
+
+TEST(SecAdaptive, TopPEndToEndProducesSparsity)
+{
+    EvalOptions opts;
+    opts.samples = 3;
+    Evaluator ev("Llava-Vid", "VideoMME", opts);
+
+    MethodConfig topp = MethodConfig::focusFull();
+    topp.focus.sec.select = SecSelect::TopP;
+    topp.focus.sec.top_p = 0.92;
+
+    const MethodEval e = ev.runFunctional(topp);
+    EXPECT_GT(ev.traceSparsity(topp, e), 0.4);
+    EXPECT_GT(e.accuracy, 0.0);
+
+    // Trace construction uses measured keeps, not the Tbl. I
+    // schedule: final token count should reflect the measurement.
+    const WorkloadTrace tr = ev.buildFullTrace(topp, e);
+    const double measured_keep = e.agg.keep_out.back();
+    const double trace_keep =
+        static_cast<double>(tr.layers.back().visual_out) /
+        static_cast<double>(tr.visual_original);
+    EXPECT_NEAR(trace_keep, measured_keep, 0.05);
+}
+
+TEST(SecAdaptive, ThresholdEndToEndRuns)
+{
+    EvalOptions opts;
+    opts.samples = 2;
+    Evaluator ev("Llava-Vid", "MVBench", opts);
+
+    MethodConfig th = MethodConfig::focusFull();
+    th.focus.sec.select = SecSelect::Threshold;
+    th.focus.sec.threshold = 0.05;
+
+    const MethodEval e = ev.runFunctional(th);
+    EXPECT_GT(ev.traceSparsity(th, e), 0.2);
+}
+
+} // namespace
+} // namespace focus

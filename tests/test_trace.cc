@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for full-scale trace construction: dense analytics, the SEC
+ * token schedule, psi mapping, baseline keep propagation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/trace.h"
+
+namespace focus
+{
+namespace
+{
+
+FunctionalAggregate
+flatAggregate(int layers, double keep, double psi)
+{
+    FunctionalAggregate agg;
+    agg.reduced_layers = layers;
+    agg.keep_in.assign(static_cast<size_t>(layers), keep);
+    agg.keep_out.assign(static_cast<size_t>(layers), keep);
+    agg.psi_qkv.assign(static_cast<size_t>(layers), psi);
+    agg.psi_oproj.assign(static_cast<size_t>(layers), psi);
+    agg.psi_ffn.assign(static_cast<size_t>(layers), psi);
+    agg.psi_down.assign(static_cast<size_t>(layers), psi);
+    return agg;
+}
+
+TEST(Trace, DenseMacsMatchAnalytic)
+{
+    const ModelProfile mp = modelProfile("Llava-Vid");
+    const DatasetProfile dp = datasetProfile("VideoMME");
+    const WorkloadTrace tr = buildDenseTrace(mp, dp);
+    ASSERT_EQ(static_cast<int64_t>(tr.layers.size()), mp.full_layers);
+
+    const double rows = static_cast<double>(dp.full_visual_tokens +
+                                            dp.full_text_tokens);
+    const double d = static_cast<double>(mp.full_hidden);
+    const double inner = static_cast<double>(mp.full_ffn_inner);
+    const double per_layer = 3 * rows * d * d + 2 * rows * rows * d +
+        rows * d * d + 2 * rows * d * inner + rows * inner * d;
+    EXPECT_NEAR(tr.totalMacs(),
+                per_layer * static_cast<double>(mp.full_layers),
+                1e-6 * tr.totalMacs());
+}
+
+TEST(Trace, FocusFollowsRetentionSchedule)
+{
+    const ModelProfile mp = modelProfile("Llava-Vid");
+    const DatasetProfile dp = datasetProfile("VideoMME");
+    const FunctionalAggregate agg = flatAggregate(mp.layers, 1.0, 0.5);
+    const WorkloadTrace tr =
+        buildTrace(mp, dp, MethodConfig::focusFull(), agg);
+
+    const int64_t m = dp.full_visual_tokens;
+    EXPECT_EQ(tr.layers[0].visual_in, m);
+    EXPECT_EQ(tr.layers[2].visual_out, m);
+    // Layer 3 prunes to 40%.
+    EXPECT_EQ(tr.layers[3].visual_out,
+              static_cast<int64_t>(std::llround(0.40 * m)));
+    EXPECT_EQ(tr.layers[3].sec_topk, tr.layers[3].visual_out);
+    EXPECT_EQ(tr.layers[9].visual_out,
+              static_cast<int64_t>(std::llround(0.20 * m)));
+    EXPECT_EQ(tr.layers[26].visual_out,
+              static_cast<int64_t>(std::llround(0.10 * m)));
+    // No pruning events besides the schedule.
+    EXPECT_EQ(tr.layers[10].sec_topk, 0);
+}
+
+TEST(Trace, FocusSparsityInPaperBand)
+{
+    const ModelProfile mp = modelProfile("Llava-Vid");
+    const DatasetProfile dp = datasetProfile("VideoMME");
+    const FunctionalAggregate agg =
+        flatAggregate(mp.layers, 1.0, 0.55);
+    const WorkloadTrace focus =
+        buildTrace(mp, dp, MethodConfig::focusFull(), agg);
+    const WorkloadTrace dense = buildDenseTrace(mp, dp);
+    const double sparsity = 1.0 - focus.totalMacs() / dense.totalMacs();
+    EXPECT_GT(sparsity, 0.75);
+    EXPECT_LT(sparsity, 0.92);
+}
+
+TEST(Trace, BaselineKeepAppliesAtInput)
+{
+    const ModelProfile mp = modelProfile("Llava-Vid");
+    const DatasetProfile dp = datasetProfile("VideoMME");
+    const FunctionalAggregate agg =
+        flatAggregate(mp.layers, 0.5, 1.0);
+    const WorkloadTrace tr =
+        buildTrace(mp, dp, MethodConfig::cmcBaseline(), agg);
+    const int64_t expect = static_cast<int64_t>(
+        std::llround(0.5 * dp.full_visual_tokens));
+    EXPECT_EQ(tr.visual0, expect);
+    for (const LayerEvents &l : tr.layers) {
+        EXPECT_EQ(l.visual_in, expect);
+        EXPECT_EQ(l.visual_out, expect);
+        EXPECT_EQ(l.sec_topk, 0);
+    }
+}
+
+TEST(Trace, PsiAppearsOnlyWithSic)
+{
+    const ModelProfile mp = modelProfile("Llava-Vid");
+    const DatasetProfile dp = datasetProfile("VideoMME");
+    const FunctionalAggregate agg =
+        flatAggregate(mp.layers, 1.0, 0.4);
+
+    const WorkloadTrace focus =
+        buildTrace(mp, dp, MethodConfig::focusFull(), agg);
+    bool saw_psi = false;
+    for (const GemmEvent &g : focus.layers[5].gemms) {
+        if (g.psi_in < 1.0) {
+            saw_psi = true;
+        }
+    }
+    EXPECT_TRUE(saw_psi);
+
+    const WorkloadTrace sec_only =
+        buildTrace(mp, dp, MethodConfig::focusSecOnly(), agg);
+    for (const LayerEvents &l : sec_only.layers) {
+        for (const GemmEvent &g : l.gemms) {
+            EXPECT_DOUBLE_EQ(g.psi_in, 1.0);
+            EXPECT_FALSE(g.gather_out);
+        }
+    }
+}
+
+TEST(Trace, QkvAtLayerZeroIsDense)
+{
+    const ModelProfile mp = modelProfile("Llava-Vid");
+    const DatasetProfile dp = datasetProfile("VideoMME");
+    const FunctionalAggregate agg =
+        flatAggregate(mp.layers, 1.0, 0.4);
+    const WorkloadTrace tr =
+        buildTrace(mp, dp, MethodConfig::focusFull(), agg);
+    EXPECT_DOUBLE_EQ(tr.layers[0].gemms[0].psi_in, 1.0);
+    EXPECT_LT(tr.layers[1].gemms[0].psi_in, 1.0);
+}
+
+TEST(Trace, GemmDimsConsistent)
+{
+    const ModelProfile mp = modelProfile("Llava-Vid");
+    const DatasetProfile dp = datasetProfile("VideoMME");
+    const WorkloadTrace tr = buildDenseTrace(mp, dp);
+    for (const LayerEvents &l : tr.layers) {
+        ASSERT_EQ(l.gemms.size(), 6u);
+        const GemmEvent &qk = l.gemms[1];
+        EXPECT_EQ(qk.site, GemmSite::Qk);
+        EXPECT_EQ(qk.m, l.rowsIn());
+        EXPECT_EQ(qk.n, l.rowsIn());
+        EXPECT_EQ(qk.k, mp.full_head_dim);
+        EXPECT_EQ(qk.count, static_cast<int>(mp.full_heads));
+        const GemmEvent &down = l.gemms[5];
+        EXPECT_EQ(down.k, mp.full_ffn_inner);
+        EXPECT_EQ(down.n, mp.full_hidden);
+    }
+}
+
+TEST(Trace, SiteNamesResolve)
+{
+    EXPECT_STREQ(gemmSiteName(GemmSite::Qkv), "qkv");
+    EXPECT_STREQ(gemmSiteName(GemmSite::Down), "down");
+}
+
+} // namespace
+} // namespace focus

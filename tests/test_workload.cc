@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Tests for the synthetic workload substrate: profiles, scenes,
+ * sample generation, and the redundancy structure the concentration
+ * methods rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "workload/profiles.h"
+#include "workload/scene.h"
+#include "workload/video_gen.h"
+
+namespace focus
+{
+namespace
+{
+
+TEST(Profiles, KnownNamesResolve)
+{
+    for (const auto &name : videoDatasetNames()) {
+        EXPECT_EQ(datasetProfile(name).name, name);
+    }
+    for (const auto &name : imageDatasetNames()) {
+        EXPECT_EQ(datasetProfile(name).name, name);
+        EXPECT_FALSE(datasetProfile(name).isVideo());
+    }
+    for (const auto &name : videoModelNames()) {
+        EXPECT_EQ(modelProfile(name).name, name);
+    }
+}
+
+TEST(Profiles, RetentionScheduleMatchesPaperAtFullDepth)
+{
+    const ModelProfile m = modelProfile("Llava-Vid");
+    // Tbl. I: retain 40/30/20/15/10% at layers 3/6/9/18/26 of 28.
+    EXPECT_DOUBLE_EQ(m.retentionAfterLayer(0, 28), 1.0);
+    EXPECT_DOUBLE_EQ(m.retentionAfterLayer(2, 28), 1.0);
+    EXPECT_DOUBLE_EQ(m.retentionAfterLayer(3, 28), 0.40);
+    EXPECT_DOUBLE_EQ(m.retentionAfterLayer(6, 28), 0.30);
+    EXPECT_DOUBLE_EQ(m.retentionAfterLayer(9, 28), 0.20);
+    EXPECT_DOUBLE_EQ(m.retentionAfterLayer(17, 28), 0.20);
+    EXPECT_DOUBLE_EQ(m.retentionAfterLayer(18, 28), 0.15);
+    EXPECT_DOUBLE_EQ(m.retentionAfterLayer(26, 28), 0.10);
+    EXPECT_TRUE(m.pruneAtLayer(3, 28));
+    EXPECT_TRUE(m.pruneAtLayer(26, 28));
+    EXPECT_FALSE(m.pruneAtLayer(4, 28));
+}
+
+TEST(Profiles, ReducedScheduleHasDistinctPruneEvents)
+{
+    const ModelProfile m = modelProfile("Llava-Vid");
+    int events = 0;
+    for (int l = 0; l < m.layers; ++l) {
+        events += m.pruneAtLayer(l, m.layers) ? 1 : 0;
+    }
+    EXPECT_GE(events, 3);
+}
+
+TEST(PrototypeBank, DeterministicAndClassifiable)
+{
+    const PrototypeBank a(77), b(77);
+    for (int c = 0; c < kNumColors; ++c) {
+        EXPECT_EQ(a.color(c), b.color(c));
+        // A prototype classifies as itself.
+        EXPECT_EQ(a.classifyColor(a.color(c).data()), c);
+    }
+}
+
+TEST(PrototypeBank, LiftTilesAcrossGroups)
+{
+    const PrototypeBank bank(5);
+    const Tensor lifted = bank.liftToHidden(bank.type(0), 64);
+    for (int g = 1; g < kNumGroups; ++g) {
+        for (int i = 0; i < kGroupDim; ++i) {
+            EXPECT_EQ(lifted(g * kGroupDim + i), lifted(i));
+        }
+    }
+}
+
+TEST(Scene, ObjectsStayInsideGrid)
+{
+    Rng rng(3);
+    const PrototypeBank bank(3);
+    const Scene s =
+        makeScene(rng, bank, 8, 10, 10, 3, 0.8, 0.02, 0.5);
+    for (const SceneObject &o : s.objects) {
+        for (int f = 0; f < 8; ++f) {
+            EXPECT_GT(o.centerY(f), -1.5);
+            EXPECT_LT(o.centerY(f), 11.5);
+        }
+    }
+}
+
+TEST(Scene, DistractorSharesTypeNotColor)
+{
+    Rng rng(9);
+    const PrototypeBank bank(9);
+    int found = 0;
+    for (int trial = 0; trial < 20; ++trial) {
+        const Scene s =
+            makeScene(rng, bank, 4, 8, 8, 3, 0.5, 0.02, 1.0);
+        if (s.distractor >= 0) {
+            ++found;
+            const auto &t = s.objects[s.target_object];
+            const auto &d = s.objects[s.distractor];
+            EXPECT_EQ(t.type_id, d.type_id);
+            EXPECT_NE(t.color_id, d.color_id);
+        }
+    }
+    EXPECT_GT(found, 15); // distractor_prob = 1.0, needs >= 2 objects
+}
+
+class VideoGenTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(VideoGenTest, SampleShapesAndDeterminism)
+{
+    const DatasetProfile dp = datasetProfile(GetParam());
+    const ModelProfile mp = modelProfile("Llava-Vid");
+    const VideoGenerator gen(dp, mp, 123);
+    const VideoSample a = gen.sample(0);
+    const VideoSample b = gen.sample(0);
+    const VideoSample c = gen.sample(1);
+
+    EXPECT_EQ(a.numVisual(),
+              static_cast<int64_t>(dp.frames) * dp.grid_h * dp.grid_w);
+    EXPECT_EQ(a.visual_tokens.cols(), mp.hidden);
+    EXPECT_EQ(a.numText(), mp.text_tokens);
+    EXPECT_EQ(static_cast<int64_t>(a.coords.size()), a.numVisual());
+    EXPECT_FALSE(a.relevant_tokens.empty());
+    EXPECT_GE(a.answer_color, 0);
+    EXPECT_LT(a.answer_color, kNumColors);
+
+    // Determinism: same index -> identical tokens.
+    EXPECT_LT(maxAbsDiff(a.visual_tokens, b.visual_tokens), 1e-9);
+    // Different index -> different scene.
+    EXPECT_GT(maxAbsDiff(a.visual_tokens, c.visual_tokens), 1e-3);
+}
+
+TEST_P(VideoGenTest, CoordsAreFhwRaster)
+{
+    const DatasetProfile dp = datasetProfile(GetParam());
+    const ModelProfile mp = modelProfile("Llava-Vid");
+    const VideoGenerator gen(dp, mp, 1);
+    const VideoSample s = gen.sample(0);
+    int64_t idx = 0;
+    for (int f = 0; f < dp.frames; ++f) {
+        for (int r = 0; r < dp.grid_h; ++r) {
+            for (int c = 0; c < dp.grid_w; ++c, ++idx) {
+                EXPECT_EQ(s.tokenIndex(f, r, c), idx);
+                EXPECT_EQ(s.coords[static_cast<size_t>(idx)].f, f);
+                EXPECT_EQ(s.coords[static_cast<size_t>(idx)].r, r);
+                EXPECT_EQ(s.coords[static_cast<size_t>(idx)].c, c);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVideoDatasets, VideoGenTest,
+                         ::testing::Values("VideoMME", "MLVU",
+                                           "MVBench", "VQAv2"));
+
+TEST(VideoGen, TemporalRedundancyExists)
+{
+    // Same-position tokens in adjacent frames should be far more
+    // similar than random token pairs — the redundancy all methods
+    // exploit (Fig. 1(a)).
+    const DatasetProfile dp = datasetProfile("VideoMME");
+    const ModelProfile mp = modelProfile("Llava-Vid");
+    const VideoGenerator gen(dp, mp, 17);
+    const VideoSample s = gen.sample(0);
+
+    double temporal = 0.0;
+    int n_t = 0;
+    for (int r = 0; r < dp.grid_h; ++r) {
+        for (int c = 0; c < dp.grid_w; ++c) {
+            const int64_t i = s.tokenIndex(1, r, c);
+            const int64_t j = s.tokenIndex(0, r, c);
+            temporal += cosineSimilarity(s.visual_tokens.row(i),
+                                         s.visual_tokens.row(j),
+                                         mp.hidden);
+            ++n_t;
+        }
+    }
+    temporal /= n_t;
+
+    Rng rng(4);
+    double random_sim = 0.0;
+    for (int k = 0; k < 200; ++k) {
+        const int64_t i = static_cast<int64_t>(
+            rng.uniformInt(static_cast<uint64_t>(s.numVisual())));
+        const int64_t j = static_cast<int64_t>(
+            rng.uniformInt(static_cast<uint64_t>(s.numVisual())));
+        random_sim += cosineSimilarity(s.visual_tokens.row(i),
+                                       s.visual_tokens.row(j),
+                                       mp.hidden);
+    }
+    random_sim /= 200.0;
+
+    EXPECT_GT(temporal, 0.7);
+    EXPECT_GT(temporal, random_sim + 0.2);
+}
+
+TEST(VideoGen, FinerVectorsShowMoreHighSimilarity)
+{
+    // The Fig. 2(b) property: the fraction of vector pairs above a
+    // 0.9 cosine threshold grows as vector size shrinks.
+    const DatasetProfile dp = datasetProfile("VideoMME");
+    const ModelProfile mp = modelProfile("Llava-Vid");
+    const VideoGenerator gen(dp, mp, 23);
+    const VideoSample s = gen.sample(0);
+
+    auto frac_above = [&](int vec) {
+        int64_t above = 0, total = 0;
+        for (int r = 0; r < dp.grid_h; ++r) {
+            for (int c = 0; c < dp.grid_w; ++c) {
+                const float *a =
+                    s.visual_tokens.row(s.tokenIndex(1, r, c));
+                const float *b =
+                    s.visual_tokens.row(s.tokenIndex(0, r, c));
+                for (int v = 0; v + vec <= mp.hidden; v += vec) {
+                    above += cosineSimilarity(a + v, b + v, vec) > 0.9f
+                        ? 1 : 0;
+                    ++total;
+                }
+            }
+        }
+        return static_cast<double>(above) /
+            static_cast<double>(total);
+    };
+
+    const double f8 = frac_above(8);
+    const double f64 = frac_above(64);
+    EXPECT_GT(f8, f64);
+}
+
+TEST(VideoGen, QueryTokenCarriesTargetType)
+{
+    const DatasetProfile dp = datasetProfile("VideoMME");
+    const ModelProfile mp = modelProfile("Llava-Vid");
+    const VideoGenerator gen(dp, mp, 31);
+    const VideoSample s = gen.sample(0);
+    const Tensor lifted =
+        gen.bank().liftToHidden(gen.bank().type(s.target_type),
+                                mp.hidden);
+    const float sim = cosineSimilarity(
+        s.text_tokens.row(s.query_token), lifted.data(), mp.hidden);
+    EXPECT_GT(sim, 0.9f);
+}
+
+} // namespace
+} // namespace focus
