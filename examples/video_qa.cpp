@@ -13,6 +13,7 @@
  */
 
 #include <algorithm>
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -111,10 +112,9 @@ main(int argc, char **argv)
             ++retained_relevant;
         }
     }
-    std::printf("\nSEC retained %zu of %ld visual tokens; %d cover "
-                "the queried object (of %zu relevant).\n",
-                fo.active_original.size(),
-                static_cast<long>(sample.numVisual()),
+    std::printf("\nSEC retained %zu of %" PRId64 " visual tokens; %d "
+                "cover the queried object (of %zu relevant).\n",
+                fo.active_original.size(), sample.numVisual(),
                 retained_relevant, sample.relevant_tokens.size());
     return 0;
 }

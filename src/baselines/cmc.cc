@@ -13,7 +13,8 @@ normalizedSad(const float *a, const float *b, int64_t n)
     double sad = 0.0;
     double mag = 0.0;
     for (int64_t i = 0; i < n; ++i) {
-        sad += std::abs(static_cast<double>(a[i]) - b[i]);
+        sad += std::abs(static_cast<double>(a[i]) -
+                        static_cast<double>(b[i]));
         mag += std::abs(static_cast<double>(a[i]));
     }
     if (mag < 1e-9) {

@@ -50,7 +50,7 @@ frameFusionReduce(const Tensor &visual,
                 const int64_t j = flat(f - 1, r, c);
                 const float sim = cosineSimilarity(
                     visual.row(i), visual.row(j), d);
-                if (sim >= cfg.min_similarity) {
+                if (static_cast<double>(sim) >= cfg.min_similarity) {
                     cands.push_back(Cand{i, j, sim});
                 }
             }

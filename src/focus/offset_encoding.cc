@@ -1,5 +1,7 @@
 #include "focus/offset_encoding.h"
 
+#include <cinttypes>
+
 #include "common/logging.h"
 
 namespace focus
@@ -19,8 +21,7 @@ encodeOffsets(const std::vector<int64_t> &retained)
     for (int64_t idx : retained) {
         if (idx <= prev) {
             panic("encodeOffsets: indices must be strictly increasing "
-                  "(%ld after %ld)", static_cast<long>(idx),
-                  static_cast<long>(prev));
+                  "(%" PRId64 " after %" PRId64 ")", idx, prev);
         }
         int64_t gap = idx - prev;
         while (gap > escape_gap) {

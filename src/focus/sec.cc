@@ -1,6 +1,7 @@
 #include "focus/sec.h"
 
 #include <algorithm>
+#include <cinttypes>
 #include <limits>
 
 #include "common/logging.h"
@@ -20,10 +21,9 @@ secImportance(const std::vector<Tensor> &attn, int64_t num_image,
                                   -std::numeric_limits<float>::infinity());
     for (const Tensor &head : attn) {
         if (head.rows() != total || head.cols() != total) {
-            panic("secImportance: head shape %ldx%ld, expected %ldx%ld",
-                  static_cast<long>(head.rows()),
-                  static_cast<long>(head.cols()),
-                  static_cast<long>(total), static_cast<long>(total));
+            panic("secImportance: head shape %" PRId64 "x%" PRId64
+                  ", expected %" PRId64 "x%" PRId64,
+                  head.rows(), head.cols(), total, total);
         }
         // Text-to-Image block: rows M..M+T-1, columns 0..M-1.
         for (int64_t i = num_image; i < total; ++i) {
@@ -88,7 +88,7 @@ secTopP(const std::vector<float> &importance, double p)
     });
     double total = 0.0;
     for (float v : importance) {
-        total += std::max(v, 0.0f);
+        total += static_cast<double>(std::max(v, 0.0f));
     }
     const double target = p * total;
 
@@ -96,7 +96,8 @@ secTopP(const std::vector<float> &importance, double p)
     double cum = 0.0;
     for (int64_t idx : order) {
         keep.push_back(idx);
-        cum += std::max(importance[static_cast<size_t>(idx)], 0.0f);
+        cum += static_cast<double>(
+            std::max(importance[static_cast<size_t>(idx)], 0.0f));
         if (cum >= target && !keep.empty()) {
             break;
         }
@@ -120,10 +121,11 @@ secThreshold(const std::vector<float> &importance, double theta)
             argmax = i;
         }
     }
-    const double cut = theta * mx;
+    const double cut = theta * static_cast<double>(mx);
     std::vector<int64_t> keep;
     for (int64_t i = 0; i < m; ++i) {
-        if (importance[static_cast<size_t>(i)] > cut) {
+        if (static_cast<double>(importance[static_cast<size_t>(i)]) >
+            cut) {
             keep.push_back(i);
         }
     }

@@ -1,6 +1,7 @@
 #include "tensor/ops.h"
 
 #include <algorithm>
+#include <cinttypes>
 #include <cmath>
 
 #include "common/half.h"
@@ -19,8 +20,8 @@ gemm(const Tensor &a, const Tensor &b, Tensor &c, bool fp16_inputs)
     const int64_t k = a.cols();
     const int64_t n = b.cols();
     if (b.rows() != k) {
-        panic("gemm: inner dims mismatch (%ld vs %ld)",
-              static_cast<long>(k), static_cast<long>(b.rows()));
+        panic("gemm: inner dims mismatch (%" PRId64 " vs %" PRId64 ")",
+              k, b.rows());
     }
     if (c.rank() != 2 || c.rows() != m || c.cols() != n) {
         c = Tensor(m, n);
@@ -65,8 +66,9 @@ gemmTransB(const Tensor &a, const Tensor &b, Tensor &c)
     const int64_t k = a.cols();
     const int64_t n = b.rows();
     if (b.cols() != k) {
-        panic("gemmTransB: inner dims mismatch (%ld vs %ld)",
-              static_cast<long>(k), static_cast<long>(b.cols()));
+        panic("gemmTransB: inner dims mismatch (%" PRId64 " vs %" PRId64
+              ")",
+              k, b.cols());
     }
     if (c.rank() != 2 || c.rows() != m || c.cols() != n) {
         c = Tensor(m, n);
@@ -214,7 +216,8 @@ relativeError(const Tensor &a, const Tensor &b)
     const float *pa = a.data();
     const float *pb = b.data();
     for (int64_t i = 0; i < a.numel(); ++i) {
-        num += std::abs(static_cast<double>(pa[i]) - pb[i]);
+        num += std::abs(static_cast<double>(pa[i]) -
+                        static_cast<double>(pb[i]));
         den += std::abs(static_cast<double>(pb[i]));
     }
     return den == 0.0 ? num : num / den;
@@ -230,7 +233,8 @@ maxAbsDiff(const Tensor &a, const Tensor &b)
     const float *pa = a.data();
     const float *pb = b.data();
     for (int64_t i = 0; i < a.numel(); ++i) {
-        mx = std::max(mx, std::abs(static_cast<double>(pa[i]) - pb[i]));
+        mx = std::max(mx, std::abs(static_cast<double>(pa[i]) -
+                                   static_cast<double>(pb[i])));
     }
     return mx;
 }

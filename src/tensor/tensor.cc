@@ -1,5 +1,6 @@
 #include "tensor/tensor.h"
 
+#include <cinttypes>
 #include <numeric>
 
 #include "common/half.h"
@@ -122,8 +123,9 @@ Tensor::reshaped(const std::vector<int64_t> &new_shape) const
         n *= d;
     }
     if (n != numel()) {
-        panic("Tensor::reshaped: element count mismatch (%ld vs %ld)",
-              static_cast<long>(n), static_cast<long>(numel()));
+        panic("Tensor::reshaped: element count mismatch (%" PRId64
+              " vs %" PRId64 ")",
+              n, numel());
     }
     Tensor out;
     out.shape_ = new_shape;
@@ -136,9 +138,9 @@ Tensor
 Tensor::sliceRows(int64_t r0, int64_t r1) const
 {
     if (rank() != 2 || r0 < 0 || r1 > rows() || r0 > r1) {
-        panic("Tensor::sliceRows: bad slice [%ld, %ld) of %ld rows",
-              static_cast<long>(r0), static_cast<long>(r1),
-              static_cast<long>(rank() == 2 ? rows() : -1));
+        panic("Tensor::sliceRows: bad slice [%" PRId64 ", %" PRId64
+              ") of %" PRId64 " rows",
+              r0, r1, rank() == 2 ? rows() : int64_t{-1});
     }
     Tensor out(r1 - r0, cols());
     std::copy(data_.begin() + r0 * stride0_,

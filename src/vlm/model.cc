@@ -1,6 +1,7 @@
 #include "vlm/model.h"
 
 #include <algorithm>
+#include <cinttypes>
 #include <cmath>
 
 #include "common/logging.h"
@@ -225,9 +226,8 @@ VlmModel::forward(const VideoSample &sample, const MethodConfig &method,
             }
             const int64_t p = kept_pos[static_cast<size_t>(rep)];
             if (p < 0) {
-                panic("forward: token %ld assigned to non-kept "
-                      "representative %ld", static_cast<long>(i),
-                      static_cast<long>(rep));
+                panic("forward: token %" PRId64 " assigned to non-kept "
+                      "representative %" PRId64, i, rep);
             }
             const float *src = sample.visual_tokens.row(i);
             float *dst = visual.row(p);

@@ -20,7 +20,7 @@ randomUnit(Rng &rng, int n)
     double norm_sq = 0.0;
     for (auto &x : v) {
         x = static_cast<float>(rng.gaussian());
-        norm_sq += static_cast<double>(x) * x;
+        norm_sq += static_cast<double>(x) * static_cast<double>(x);
     }
     const float inv = static_cast<float>(1.0 / std::sqrt(norm_sq + 1e-12));
     for (auto &x : v) {
@@ -63,7 +63,7 @@ PrototypeBank::PrototypeBank(uint64_t seed)
         }
         double norm_sq = 0.0;
         for (float x : v) {
-            norm_sq += static_cast<double>(x) * x;
+            norm_sq += static_cast<double>(x) * static_cast<double>(x);
         }
         if (norm_sq < 1e-6) {
             continue; // degenerate draw; retry
@@ -156,8 +156,10 @@ Scene::backgroundAt(int f, double y, double x, int grid_h, int grid_w,
     const float *p10 = at(iy + 1, ix);
     const float *p11 = at(iy + 1, ix + 1);
     for (int i = 0; i < kGroupDim; ++i) {
-        const double top = p00[i] * (1 - fx) + p01[i] * fx;
-        const double bot = p10[i] * (1 - fx) + p11[i] * fx;
+        const double top = static_cast<double>(p00[i]) * (1 - fx) +
+                           static_cast<double>(p01[i]) * fx;
+        const double bot = static_cast<double>(p10[i]) * (1 - fx) +
+                           static_cast<double>(p11[i]) * fx;
         out[i] = static_cast<float>(top * (1 - fy) + bot * fy);
     }
 }

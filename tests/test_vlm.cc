@@ -208,7 +208,7 @@ TEST(VlmModel, ReadoutAttentionIsDistribution)
     double sum = 0.0;
     for (float w : r.readout_attention) {
         EXPECT_GE(w, 0.0f);
-        sum += w;
+        sum += static_cast<double>(w);
     }
     EXPECT_NEAR(sum, 1.0, 1e-3);
 }

@@ -181,9 +181,9 @@ TEST(VideoGen, TemporalRedundancyExists)
         for (int c = 0; c < dp.grid_w; ++c) {
             const int64_t i = s.tokenIndex(1, r, c);
             const int64_t j = s.tokenIndex(0, r, c);
-            temporal += cosineSimilarity(s.visual_tokens.row(i),
-                                         s.visual_tokens.row(j),
-                                         mp.hidden);
+            temporal += static_cast<double>(
+                cosineSimilarity(s.visual_tokens.row(i),
+                                 s.visual_tokens.row(j), mp.hidden));
             ++n_t;
         }
     }
@@ -196,9 +196,9 @@ TEST(VideoGen, TemporalRedundancyExists)
             rng.uniformInt(static_cast<uint64_t>(s.numVisual())));
         const int64_t j = static_cast<int64_t>(
             rng.uniformInt(static_cast<uint64_t>(s.numVisual())));
-        random_sim += cosineSimilarity(s.visual_tokens.row(i),
-                                       s.visual_tokens.row(j),
-                                       mp.hidden);
+        random_sim += static_cast<double>(
+            cosineSimilarity(s.visual_tokens.row(i),
+                             s.visual_tokens.row(j), mp.hidden));
     }
     random_sim /= 200.0;
 
