@@ -27,13 +27,48 @@ using namespace focus;
 int
 main(int argc, char **argv)
 {
-    const int samples = benchSamples(argc, argv, 6);
+    const BenchOptions bo = benchOptions(argc, argv, 6);
     benchBanner("Ablations: adaptive SEC, matcher parallelism, "
-                "buffer sensitivity", samples);
+                "buffer sensitivity", bo);
 
-    EvalOptions opts;
-    opts.samples = samples;
-    Evaluator ev("Llava-Vid", "VideoMME", opts);
+    // One grid for every functional measurement: the five SEC
+    // selection rules of (a) plus the Focus trace that (c) sweeps.
+    ExperimentGrid grid(benchEvalOptions(bo));
+
+    std::vector<std::pair<std::string, size_t>> rule_ids;
+    auto add_rule = [&](const char *name, const MethodConfig &m) {
+        ExperimentCell cell{"Llava-Vid", "VideoMME", m};
+        cell.simulate = false;
+        cell.trace_sparsity = true;
+        cell.tag = name;
+        rule_ids.emplace_back(name, grid.add(cell));
+    };
+
+    add_rule("top-k (Tbl. I)", MethodConfig::focusFull());
+    for (double p : {0.85, 0.92, 0.97}) {
+        MethodConfig m = MethodConfig::focusFull();
+        m.focus.sec.select = SecSelect::TopP;
+        m.focus.sec.top_p = p;
+        char name[32];
+        std::snprintf(name, sizeof(name), "top-p %.2f", p);
+        add_rule(name, m);
+    }
+    {
+        MethodConfig m = MethodConfig::focusFull();
+        m.focus.sec.select = SecSelect::Threshold;
+        m.focus.sec.threshold = 0.05;
+        add_rule("threshold 0.05", m);
+    }
+
+    ExperimentCell trace_cell{"Llava-Vid", "VideoMME",
+                              MethodConfig::focusFull(),
+                              AccelConfig::focus()};
+    trace_cell.simulate = false;
+    trace_cell.keep_trace = true;
+    const size_t trace_id = grid.add(trace_cell);
+
+    const std::vector<ExperimentResult> res = grid.run();
+    const Evaluator &ev = grid.evaluator("Llava-Vid", "VideoMME");
 
     // ------------------------------------------------------------
     // (a) adaptive semantic pruning
@@ -43,43 +78,27 @@ main(int argc, char **argv)
         TextTable t({"Rule", "Sparsity(%)", "Accuracy(%)",
                      "FinalKeep(mean)", "FinalKeep(std)"});
 
-        auto run = [&](const char *name, MethodConfig m) {
-            const MethodEval e = ev.runFunctional(m);
+        for (const auto &[name, id] : rule_ids) {
+            const ExperimentResult &r = res[id];
             // Per-sample variation of the final retained fraction.
             double mean = 0.0, sq = 0.0;
-            for (int s = 0; s < samples; ++s) {
+            for (int s = 0; s < bo.samples; ++s) {
                 const VideoSample sample = ev.generator().sample(
                     static_cast<uint64_t>(s));
-                const ForwardResult r = ev.model().forward(
-                    sample, m, ev.generator().bank());
+                const ForwardResult fr = ev.model().forward(
+                    sample, r.cell.method, ev.generator().bank());
                 const double keep =
-                    static_cast<double>(r.layers.back().visual_out) /
-                    static_cast<double>(r.visual_original);
+                    static_cast<double>(fr.layers.back().visual_out) /
+                    static_cast<double>(fr.visual_original);
                 mean += keep;
                 sq += keep * keep;
             }
-            mean /= samples;
-            const double var = std::max(0.0, sq / samples - mean *
-                                        mean);
-            t.addRow({name, fmtPct(ev.traceSparsity(m, e)),
-                      fmtPct(e.accuracy), fmtF(mean, 3),
+            mean /= bo.samples;
+            const double var =
+                std::max(0.0, sq / bo.samples - mean * mean);
+            t.addRow({name, fmtPct(r.trace_sparsity),
+                      fmtPct(r.eval.accuracy), fmtF(mean, 3),
                       fmtF(std::sqrt(var), 3)});
-        };
-
-        run("top-k (Tbl. I)", MethodConfig::focusFull());
-        for (double p : {0.85, 0.92, 0.97}) {
-            MethodConfig m = MethodConfig::focusFull();
-            m.focus.sec.select = SecSelect::TopP;
-            m.focus.sec.top_p = p;
-            char name[32];
-            std::snprintf(name, sizeof(name), "top-p %.2f", p);
-            run(name, m);
-        }
-        {
-            MethodConfig m = MethodConfig::focusFull();
-            m.focus.sec.select = SecSelect::Threshold;
-            m.focus.sec.threshold = 0.05;
-            run("threshold 0.05", m);
         }
         std::printf("%s\n", t.render().c_str());
         std::printf("Adaptive rules trade the fixed schedule's "
@@ -120,10 +139,7 @@ main(int argc, char **argv)
     // ------------------------------------------------------------
     {
         std::printf("--- (c) output-buffer capacity ---\n");
-        const MethodEval e =
-            ev.runFunctional(MethodConfig::focusFull());
-        const WorkloadTrace focus_tr =
-            ev.buildFullTrace(MethodConfig::focusFull(), e);
+        const WorkloadTrace &focus_tr = res[trace_id].trace;
         const WorkloadTrace dense_tr =
             buildDenseTrace(ev.modelProfile(), ev.datasetProfile());
         TextTable t({"OutBuf(KB)", "Speedup", "DRAM(GB)"});

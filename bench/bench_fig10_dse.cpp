@@ -12,7 +12,12 @@
  *  (c) SIC block size (f,h,w): larger blocks find more redundancy,
  *      temporal extent helping most; 2x2x2 suffices.
  *  (d) Scatter accumulators: 64 is within a few percent of 160.
+ *
+ * All sweep points are cells of one ExperimentGrid, so the whole DSE
+ * dispatches across the thread pool at once.
  */
+
+#include <algorithm>
 
 #include "bench_util.h"
 
@@ -23,99 +28,134 @@ using namespace focus;
 int
 main(int argc, char **argv)
 {
-    const int samples = benchSamples(argc, argv, 4);
-    benchBanner("Fig. 10: design space exploration", samples);
+    const BenchOptions bo = benchOptions(argc, argv, 4);
+    benchBanner("Fig. 10: design space exploration", bo);
 
-    EvalOptions opts;
-    opts.samples = samples;
-    Evaluator ev("Llava-Vid", "VideoMME", opts);
-    Evaluator ev_mlvu("Llava-Vid", "MLVU", opts);
+    ExperimentGrid grid(benchEvalOptions(bo));
 
     // ------------------------------------------------------------
     // (a) GEMM m tile size.  The functional tile size scales with
     // the reduced token count; the timing tile scales at full scale.
     // ------------------------------------------------------------
-    {
-        std::printf("--- (a) GEMM m tile size ---\n");
-        TextTable t({"mTile", "NormLatency", "Accuracy(%)",
-                     "OutBuf(KB)"});
-        double base = 0.0;
-        for (int64_t tile : {4096, 2048, 1024, 512, 128, 32}) {
-            MethodConfig m = MethodConfig::focusFull();
-            // Scale the functional tile proportionally (reduced
-            // scale is ~600 active rows vs 6381 full).
-            m.focus.sic.m_tile = std::max<int64_t>(2, tile / 10);
-            AccelConfig a = AccelConfig::focus();
-            a.m_tile = tile;
-            a.output_buffer = tile * 4 * 128; // keep 128 cols resident
-            MethodEval e;
-            const RunMetrics rm = ev.simulate(m, a, &e);
-            const double lat = static_cast<double>(rm.cycles);
-            if (base == 0.0) {
-                base = lat;
-            }
-            t.addRow({std::to_string(tile), fmtF(lat / base, 3),
-                      fmtPct(e.accuracy),
-                      fmtF(static_cast<double>(a.output_buffer) /
-                           1024.0, 0)});
-        }
-        std::printf("%s\n", t.render().c_str());
+    const std::vector<int64_t> tiles = {4096, 2048, 1024, 512, 128,
+                                        32};
+    std::vector<size_t> a_ids;
+    for (int64_t tile : tiles) {
+        MethodConfig m = MethodConfig::focusFull();
+        // Scale the functional tile proportionally (reduced
+        // scale is ~600 active rows vs 6381 full).
+        m.focus.sic.m_tile = std::max<int64_t>(2, tile / 10);
+        AccelConfig a = AccelConfig::focus();
+        a.m_tile = tile;
+        a.output_buffer = tile * 4 * 128; // keep 128 cols resident
+        ExperimentCell cell{"Llava-Vid", "VideoMME", m, a};
+        cell.tag = std::to_string(tile);
+        a_ids.push_back(grid.add(cell));
     }
 
     // ------------------------------------------------------------
     // (b) Vector size: systolic-array MACs vs accumulator ops.
     // ------------------------------------------------------------
+    const std::vector<int> vecs = {8, 16, 32, 64};
+    std::vector<size_t> b_ids;
+    for (int vec : vecs) {
+        MethodConfig m = MethodConfig::focusFull();
+        m.focus.sic.vector_size = vec;
+        AccelConfig a = AccelConfig::focus();
+        a.vector_size = vec;
+        // The array height must not exceed the vector size
+        // (Sec. VII-D), so k-subtiles shrink with the vector.
+        a.array_rows = std::min(32, vec);
+        ExperimentCell cell{"Llava-Vid", "MLVU", m, a};
+        cell.keep_trace = true; // array MACs come from the trace
+        cell.tag = std::to_string(vec);
+        b_ids.push_back(grid.add(cell));
+    }
+
+    // ------------------------------------------------------------
+    // (c) SIC block size (f, h, w).
+    // ------------------------------------------------------------
+    const int sizes[][3] = {{1, 1, 1}, {1, 2, 2}, {1, 3, 3},
+                            {2, 1, 1}, {2, 2, 2}, {2, 3, 3},
+                            {3, 2, 2}, {3, 3, 3}};
+    std::vector<size_t> c_ids;
+    for (const auto &s : sizes) {
+        MethodConfig m = MethodConfig::focusFull();
+        m.focus.sic.block_f = s[0];
+        m.focus.sic.block_h = s[1];
+        m.focus.sic.block_w = s[2];
+        char label[16];
+        std::snprintf(label, sizeof(label), "%d%d%d", s[0], s[1],
+                      s[2]);
+        ExperimentCell cell{"Llava-Vid", "VideoMME", m,
+                            AccelConfig::focus()};
+        cell.tag = label;
+        c_ids.push_back(grid.add(cell));
+    }
+
+    // ------------------------------------------------------------
+    // (d) Scatter accumulators: one functional measurement, many
+    // timing-only simulations of its trace (accuracy unaffected).
+    // ------------------------------------------------------------
+    ExperimentCell d_cell{"Llava-Vid", "VideoMME",
+                          MethodConfig::focusFull(),
+                          AccelConfig::focus()};
+    d_cell.simulate = false;
+    d_cell.keep_trace = true;
+    const size_t d_id = grid.add(d_cell);
+
+    const std::vector<ExperimentResult> res = grid.run();
+
+    {
+        std::printf("--- (a) GEMM m tile size ---\n");
+        TextTable t({"mTile", "NormLatency", "Accuracy(%)",
+                     "OutBuf(KB)"});
+        double base = 0.0;
+        for (size_t id : a_ids) {
+            const ExperimentResult &r = res[id];
+            const double lat =
+                static_cast<double>(r.metrics.cycles);
+            if (base == 0.0) {
+                base = lat;
+            }
+            t.addRow({r.cell.tag, fmtF(lat / base, 3),
+                      fmtPct(r.eval.accuracy),
+                      fmtF(static_cast<double>(
+                               r.cell.accel.output_buffer) /
+                               1024.0,
+                           0)});
+        }
+        std::printf("%s\n", t.render().c_str());
+    }
+
     {
         std::printf("--- (b) vector size ---\n");
         TextTable t({"VecSize", "ArrayGOPs", "AccumGOPs",
                      "Accuracy(%)"});
-        for (int vec : {8, 16, 32, 64}) {
-            MethodConfig m = MethodConfig::focusFull();
-            m.focus.sic.vector_size = vec;
-            AccelConfig a = AccelConfig::focus();
-            a.vector_size = vec;
-            // The array height must not exceed the vector size
-            // (Sec. VII-D), so k-subtiles shrink with the vector.
-            a.array_rows = std::min(32, vec);
-            MethodEval e;
-            const RunMetrics rm = ev_mlvu.simulate(m, a, &e);
-            const WorkloadTrace tr = ev_mlvu.buildFullTrace(m, e);
-            t.addRow({std::to_string(vec),
-                      fmtF(tr.totalMacs() / 1e9, 1),
-                      fmtF(rm.scatter_ops / 1e9, 1),
-                      fmtPct(e.accuracy)});
+        for (size_t id : b_ids) {
+            const ExperimentResult &r = res[id];
+            t.addRow({r.cell.tag, fmtF(r.trace.totalMacs() / 1e9, 1),
+                      fmtF(r.metrics.scatter_ops / 1e9, 1),
+                      fmtPct(r.eval.accuracy)});
         }
         std::printf("%s\n", t.render().c_str());
         std::printf("Expected shape: array ops fall and accumulator "
                     "ops rise as vectors shrink; 32 balances.\n\n");
     }
 
-    // ------------------------------------------------------------
-    // (c) SIC block size (f, h, w).
-    // ------------------------------------------------------------
     {
         std::printf("--- (c) SIC block size (f,h,w) ---\n");
         TextTable t({"Block", "NormLatency", "Accuracy(%)"});
         double base = 0.0;
-        const int sizes[][3] = {{1, 1, 1}, {1, 2, 2}, {1, 3, 3},
-                                {2, 1, 1}, {2, 2, 2}, {2, 3, 3},
-                                {3, 2, 2}, {3, 3, 3}};
-        for (const auto &s : sizes) {
-            MethodConfig m = MethodConfig::focusFull();
-            m.focus.sic.block_f = s[0];
-            m.focus.sic.block_h = s[1];
-            m.focus.sic.block_w = s[2];
-            MethodEval e;
-            const RunMetrics rm =
-                ev.simulate(m, AccelConfig::focus(), &e);
-            const double lat = static_cast<double>(rm.cycles);
+        for (size_t id : c_ids) {
+            const ExperimentResult &r = res[id];
+            const double lat =
+                static_cast<double>(r.metrics.cycles);
             if (base == 0.0) {
                 base = lat;
             }
-            char label[16];
-            std::snprintf(label, sizeof(label), "%d%d%d", s[0], s[1],
-                          s[2]);
-            t.addRow({label, fmtF(lat / base, 3), fmtPct(e.accuracy)});
+            t.addRow({r.cell.tag, fmtF(lat / base, 3),
+                      fmtPct(r.eval.accuracy)});
         }
         std::printf("%s\n", t.render().c_str());
         std::printf("Expected shape: larger blocks reduce latency; "
@@ -123,15 +163,9 @@ main(int argc, char **argv)
                     "sufficient.\n\n");
     }
 
-    // ------------------------------------------------------------
-    // (d) Scatter accumulators (timing only; accuracy unaffected).
-    // ------------------------------------------------------------
     {
         std::printf("--- (d) scatter accumulators ---\n");
-        const MethodEval e =
-            ev.runFunctional(MethodConfig::focusFull());
-        const WorkloadTrace tr =
-            ev.buildFullTrace(MethodConfig::focusFull(), e);
+        const WorkloadTrace &tr = res[d_id].trace;
         TextTable t({"Accumulators", "NormLatency"});
         double base = 0.0;
         for (int acc : {160, 128, 96, 64, 32}) {

@@ -17,26 +17,31 @@ using namespace focus;
 int
 main(int argc, char **argv)
 {
-    const int samples = benchSamples(argc, argv, 6);
-    benchBanner("Fig. 11: ablation (SEC / SIC contributions)",
-                samples);
+    const BenchOptions bo = benchOptions(argc, argv, 6);
+    benchBanner("Fig. 11: ablation (SEC / SIC contributions)", bo);
 
-    EvalOptions opts;
-    opts.samples = samples;
-    Evaluator ev("Llava-Vid", "VideoMME", opts);
+    ExperimentGrid grid(benchEvalOptions(bo));
+    const size_t sa_id =
+        grid.add({"Llava-Vid", "VideoMME", MethodConfig::dense(),
+                  AccelConfig::systolicArray()});
+    const size_t cmc_id =
+        grid.add({"Llava-Vid", "VideoMME", MethodConfig::cmcBaseline(),
+                  AccelConfig::cmc()});
+    const size_t sec_id =
+        grid.add({"Llava-Vid", "VideoMME",
+                  MethodConfig::focusSecOnly(), AccelConfig::focus()});
+    const size_t full_id =
+        grid.add({"Llava-Vid", "VideoMME", MethodConfig::focusFull(),
+                  AccelConfig::focus()});
+    const std::vector<ExperimentResult> res = grid.run();
 
-    const RunMetrics sa = ev.simulate(MethodConfig::dense(),
-                                      AccelConfig::systolicArray());
-    const RunMetrics cmc =
-        ev.simulate(MethodConfig::cmcBaseline(), AccelConfig::cmc());
-    const RunMetrics sec = ev.simulate(MethodConfig::focusSecOnly(),
-                                       AccelConfig::focus());
-    const RunMetrics full =
-        ev.simulate(MethodConfig::focusFull(), AccelConfig::focus());
-
-    const double s_cmc = static_cast<double>(sa.cycles) / cmc.cycles;
-    const double s_sec = static_cast<double>(sa.cycles) / sec.cycles;
-    const double s_full = static_cast<double>(sa.cycles) / full.cycles;
+    const RunMetrics &sa = res[sa_id].metrics;
+    const double s_cmc = static_cast<double>(sa.cycles) /
+        res[cmc_id].metrics.cycles;
+    const double s_sec = static_cast<double>(sa.cycles) /
+        res[sec_id].metrics.cycles;
+    const double s_full = static_cast<double>(sa.cycles) /
+        res[full_id].metrics.cycles;
 
     TextTable table({"Configuration", "Speedup", "PaperRef"});
     table.addRow({"Systolic Array (Dense)", "1.00x", "1.00x"});

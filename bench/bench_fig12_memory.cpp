@@ -20,44 +20,58 @@ using namespace focus;
 int
 main(int argc, char **argv)
 {
-    const int samples = benchSamples(argc, argv, 4);
-    benchBanner("Fig. 12: DRAM access and activation size", samples);
+    const BenchOptions bo = benchOptions(argc, argv, 4);
+    benchBanner("Fig. 12: DRAM access and activation size", bo);
 
     TextTable dram_table({"Model", "SA", "Adaptiv", "CMC", "Ours"});
     TextTable size_table({"Model", "SA", "Adaptiv", "CMC", "Ours"});
 
+    // Per (model, dataset): the SA reference plus the three
+    // compressed architectures, in a fixed order.
+    struct Arch
+    {
+        MethodConfig method;
+        AccelConfig accel;
+    };
+    const std::vector<Arch> archs = {
+        {MethodConfig::dense(), AccelConfig::systolicArray()},
+        {MethodConfig::adaptivBaseline(), AccelConfig::adaptiv()},
+        {MethodConfig::cmcBaseline(), AccelConfig::cmc()},
+        {MethodConfig::focusFull(), AccelConfig::focus()},
+    };
+
+    ExperimentGrid grid(benchEvalOptions(bo));
+    const auto models = videoModelNames();
+    const auto datasets = videoDatasetNames();
+    for (const std::string &model : models) {
+        for (const std::string &dataset : datasets) {
+            for (const Arch &arch : archs) {
+                grid.add({model, dataset, arch.method, arch.accel});
+            }
+        }
+    }
+    const std::vector<ExperimentResult> res = grid.run();
+
     double mean_dram[3] = {0, 0, 0};
     double mean_size[3] = {0, 0, 0};
-    const auto models = videoModelNames();
-
+    size_t next = 0;
     for (const std::string &model : models) {
         double dram[3] = {0, 0, 0};
         double size[3] = {0, 0, 0};
-        for (const std::string &dataset : videoDatasetNames()) {
-            EvalOptions opts;
-            opts.samples = samples;
-            Evaluator ev(model, dataset, opts);
-
-            const RunMetrics sa = ev.simulate(
-                MethodConfig::dense(), AccelConfig::systolicArray());
-            const RunMetrics entries[3] = {
-                ev.simulate(MethodConfig::adaptivBaseline(),
-                            AccelConfig::adaptiv()),
-                ev.simulate(MethodConfig::cmcBaseline(),
-                            AccelConfig::cmc()),
-                ev.simulate(MethodConfig::focusFull(),
-                            AccelConfig::focus()),
-            };
+        for (size_t d = 0; d < datasets.size(); ++d) {
+            const RunMetrics &sa = res[next].metrics;
             for (int i = 0; i < 3; ++i) {
-                dram[i] += static_cast<double>(
-                               entries[i].dramActivationBytes()) /
+                const RunMetrics &rm =
+                    res[next + 1 + static_cast<size_t>(i)].metrics;
+                dram[i] +=
+                    static_cast<double>(rm.dramActivationBytes()) /
                     static_cast<double>(sa.dramActivationBytes());
-                size[i] += entries[i].mean_input_frac /
-                    sa.mean_input_frac;
+                size[i] += rm.mean_input_frac / sa.mean_input_frac;
             }
+            next += archs.size();
         }
         const double inv =
-            1.0 / static_cast<double>(videoDatasetNames().size());
+            1.0 / static_cast<double>(datasets.size());
         dram_table.addRow({model, "1.000", fmtF(dram[0] * inv, 3),
                            fmtF(dram[1] * inv, 3),
                            fmtF(dram[2] * inv, 3)});

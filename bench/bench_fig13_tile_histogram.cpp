@@ -23,15 +23,13 @@ using namespace focus;
 int
 main(int argc, char **argv)
 {
-    const int samples = benchSamples(argc, argv, 6);
-    benchBanner("Fig. 13: concentrated tile-length histogram",
-                samples);
+    const BenchOptions bo = benchOptions(argc, argv, 6);
+    benchBanner("Fig. 13: concentrated tile-length histogram", bo);
 
-    EvalOptions opts;
-    opts.samples = samples;
-    Evaluator ev("Llava-Vid", "VideoMME", opts);
-    const RunMetrics rm =
-        ev.simulate(MethodConfig::focusFull(), AccelConfig::focus());
+    ExperimentGrid grid(benchEvalOptions(bo));
+    grid.add({"Llava-Vid", "VideoMME", MethodConfig::focusFull(),
+              AccelConfig::focus()});
+    const RunMetrics rm = grid.run().front().metrics;
 
     const AccelConfig cfg = AccelConfig::focus();
     const int64_t fill = cfg.array_rows + cfg.array_cols - 2;

@@ -23,8 +23,8 @@ using namespace focus;
 int
 main(int argc, char **argv)
 {
-    const int samples = benchSamples(argc, argv, 4);
-    benchBanner("Fig. 2(b): similarity CDF vs vector size", samples);
+    const BenchOptions bo = benchOptions(argc, argv, 4);
+    benchBanner("Fig. 2(b): similarity CDF vs vector size", bo);
 
     const DatasetProfile dp = datasetProfile("VideoMME");
     const ModelProfile mp = modelProfile("Llava-Vid");
@@ -34,31 +34,42 @@ main(int argc, char **argv)
     const std::vector<double> thresholds = {0.5, 0.6, 0.7, 0.8,
                                             0.9, 0.95};
 
-    TextTable table({"VecSize", "P(<=0.5)", "P(<=0.6)", "P(<=0.7)",
-                     "P(<=0.8)", "P(<=0.9)", "P(<=0.95)", "P(>0.9)"});
-
-    for (int vec : vector_sizes) {
-        Histogram hist(-1.0, 1.0, 100);
-        for (int s = 0; s < samples; ++s) {
-            const VideoSample sample =
-                gen.sample(static_cast<uint64_t>(s));
-            for (int f = 1; f < sample.frames; ++f) {
-                for (int r = 0; r < sample.grid_h; ++r) {
-                    for (int c = 0; c < sample.grid_w; ++c) {
-                        const float *a = sample.visual_tokens.row(
-                            sample.tokenIndex(f, r, c));
-                        const float *b = sample.visual_tokens.row(
-                            sample.tokenIndex(f - 1, r, c));
-                        for (int v = 0; v + vec <= mp.hidden;
-                             v += vec) {
-                            hist.add(cosineSimilarity(a + v, b + v,
-                                                      vec));
+    // One histogram per vector size, filled in parallel; binning is
+    // integer counting, so the result is order-independent.
+    std::vector<Histogram> hists(vector_sizes.size(),
+                                 Histogram(-1.0, 1.0, 100));
+    ThreadPool::global().parallelFor(
+        static_cast<int64_t>(vector_sizes.size()), [&](int64_t v) {
+            const int vec = vector_sizes[static_cast<size_t>(v)];
+            Histogram &hist = hists[static_cast<size_t>(v)];
+            for (int s = 0; s < bo.samples; ++s) {
+                const VideoSample sample =
+                    gen.sample(static_cast<uint64_t>(s));
+                for (int f = 1; f < sample.frames; ++f) {
+                    for (int r = 0; r < sample.grid_h; ++r) {
+                        for (int c = 0; c < sample.grid_w; ++c) {
+                            const float *a = sample.visual_tokens.row(
+                                sample.tokenIndex(f, r, c));
+                            const float *b = sample.visual_tokens.row(
+                                sample.tokenIndex(f - 1, r, c));
+                            for (int o = 0; o + vec <= mp.hidden;
+                                 o += vec) {
+                                hist.add(cosineSimilarity(a + o,
+                                                          b + o,
+                                                          vec));
+                            }
                         }
                     }
                 }
             }
-        }
-        std::vector<std::string> row = {std::to_string(vec)};
+        });
+
+    TextTable table({"VecSize", "P(<=0.5)", "P(<=0.6)", "P(<=0.7)",
+                     "P(<=0.8)", "P(<=0.9)", "P(<=0.95)", "P(>0.9)"});
+    for (size_t v = 0; v < vector_sizes.size(); ++v) {
+        const Histogram &hist = hists[v];
+        std::vector<std::string> row = {
+            std::to_string(vector_sizes[v])};
         for (double th : thresholds) {
             row.push_back(fmtF(hist.cdfAt(th), 3));
         }

@@ -17,13 +17,9 @@ using namespace focus;
 int
 main(int argc, char **argv)
 {
-    const int samples = benchSamples(argc, argv, 8);
+    const BenchOptions bo = benchOptions(argc, argv, 8);
     benchBanner("Fig. 2(c): sparsity comparison (token- vs "
-                "vector-wise)", samples);
-
-    EvalOptions opts;
-    opts.samples = samples;
-    Evaluator ev("Llava-Vid", "VideoMME", opts);
+                "vector-wise)", bo);
 
     const std::vector<MethodConfig> methods = {
         MethodConfig::dense(),
@@ -33,11 +29,20 @@ main(int argc, char **argv)
         MethodConfig::focusFull(),
     };
 
-    TextTable table({"Method", "Sparsity(%)", "Accuracy(%)"});
+    ExperimentGrid grid(benchEvalOptions(bo));
     for (const MethodConfig &m : methods) {
-        const MethodEval e = ev.runFunctional(m);
-        table.addRow({m.name(), fmtPct(ev.traceSparsity(m, e)),
-                      fmtPct(e.accuracy)});
+        ExperimentCell cell{"Llava-Vid", "VideoMME", m};
+        cell.simulate = false;
+        cell.trace_sparsity = true;
+        grid.add(cell);
+    }
+    const std::vector<ExperimentResult> res = grid.run();
+
+    TextTable table({"Method", "Sparsity(%)", "Accuracy(%)"});
+    for (const ExperimentResult &r : res) {
+        table.addRow({r.cell.method.name(),
+                      fmtPct(r.trace_sparsity),
+                      fmtPct(r.eval.accuracy)});
     }
     std::printf("%s\n", table.render().c_str());
     std::printf("Expected shape: vector-wise > token-wise > "

@@ -19,9 +19,9 @@ using namespace focus;
 int
 main(int argc, char **argv)
 {
-    const int samples = benchSamples(argc, argv, 5);
+    const BenchOptions bo = benchOptions(argc, argv, 5);
     benchBanner("Fig. 9(a): speedup over the dense systolic array",
-                samples);
+                bo);
 
     TextTable table({"Model", "Dataset", "SA", "GPU", "Adaptiv",
                      "CMC", "GPU+FF", "Ours"});
@@ -35,52 +35,78 @@ main(int argc, char **argv)
     };
     Geo g_gpu, g_ada, g_cmc, g_ff, g_ours;
 
+    // Five cells per (model, dataset): the dense trace doubles as the
+    // GPU reference workload, and the FrameFusion cell only needs its
+    // trace (it is timed by the GPU model, not the cycle model).
+    struct RowIds
+    {
+        std::string model, dataset;
+        size_t dense, ada, cmc, ours, ff;
+    };
+    ExperimentGrid grid(benchEvalOptions(bo));
+    std::vector<RowIds> rows;
     for (const std::string &model : videoModelNames()) {
         for (const std::string &dataset : videoDatasetNames()) {
-            EvalOptions opts;
-            opts.samples = samples;
-            Evaluator ev(model, dataset, opts);
+            RowIds ids;
+            ids.model = model;
+            ids.dataset = dataset;
 
-            MethodEval dense_eval;
-            const RunMetrics sa =
-                ev.simulate(MethodConfig::dense(),
-                            AccelConfig::systolicArray(), &dense_eval);
-            const RunMetrics ada = ev.simulate(
-                MethodConfig::adaptivBaseline(), AccelConfig::adaptiv());
-            const RunMetrics cmc = ev.simulate(
-                MethodConfig::cmcBaseline(), AccelConfig::cmc());
-            const RunMetrics ours = ev.simulate(
-                MethodConfig::focusFull(), AccelConfig::focus());
+            ExperimentCell dense{model, dataset,
+                                 MethodConfig::dense(),
+                                 AccelConfig::systolicArray()};
+            dense.keep_trace = true;
+            ids.dense = grid.add(dense);
 
-            const GpuConfig gpu;
-            const WorkloadTrace dense_tr =
-                ev.buildFullTrace(MethodConfig::dense(), dense_eval);
-            const double t_gpu = gpuSeconds(dense_tr, gpu, false);
+            ids.ada = grid.add({model, dataset,
+                                MethodConfig::adaptivBaseline(),
+                                AccelConfig::adaptiv()});
+            ids.cmc = grid.add({model, dataset,
+                                MethodConfig::cmcBaseline(),
+                                AccelConfig::cmc()});
+            ids.ours = grid.add({model, dataset,
+                                 MethodConfig::focusFull(),
+                                 AccelConfig::focus()});
+
             MethodConfig ff = MethodConfig::frameFusionBaseline();
-            ff.framefusion.reduction = ev.frameFusionReductionFor(0.70);
-            const MethodEval ff_eval = ev.runFunctional(ff);
-            const double t_ff = gpuSeconds(
-                ev.buildFullTrace(ff, ff_eval), gpu, true);
+            ff.framefusion.reduction =
+                grid.evaluator(model, dataset)
+                    .frameFusionReductionFor(0.70);
+            ExperimentCell ff_cell{model, dataset, ff,
+                                   AccelConfig::systolicArray()};
+            ff_cell.simulate = false;
+            ff_cell.keep_trace = true;
+            ids.ff = grid.add(ff_cell);
 
-            const double s_gpu = sa.seconds() / t_gpu;
-            const double s_ada =
-                static_cast<double>(sa.cycles) / ada.cycles;
-            const double s_cmc =
-                static_cast<double>(sa.cycles) / cmc.cycles;
-            const double s_ff = sa.seconds() / t_ff;
-            const double s_ours =
-                static_cast<double>(sa.cycles) / ours.cycles;
-
-            g_gpu.add(s_gpu);
-            g_ada.add(s_ada);
-            g_cmc.add(s_cmc);
-            g_ff.add(s_ff);
-            g_ours.add(s_ours);
-
-            table.addRow({model, dataset, "1.00", fmtF(s_gpu, 2),
-                          fmtF(s_ada, 2), fmtF(s_cmc, 2),
-                          fmtF(s_ff, 2), fmtF(s_ours, 2)});
+            rows.push_back(ids);
         }
+    }
+    const std::vector<ExperimentResult> res = grid.run();
+
+    const GpuConfig gpu;
+    for (const RowIds &ids : rows) {
+        const RunMetrics &sa = res[ids.dense].metrics;
+        const double t_gpu =
+            gpuSeconds(res[ids.dense].trace, gpu, false);
+        const double t_ff = gpuSeconds(res[ids.ff].trace, gpu, true);
+
+        const double s_gpu = sa.seconds() / t_gpu;
+        const double s_ada = static_cast<double>(sa.cycles) /
+            res[ids.ada].metrics.cycles;
+        const double s_cmc = static_cast<double>(sa.cycles) /
+            res[ids.cmc].metrics.cycles;
+        const double s_ff = sa.seconds() / t_ff;
+        const double s_ours = static_cast<double>(sa.cycles) /
+            res[ids.ours].metrics.cycles;
+
+        g_gpu.add(s_gpu);
+        g_ada.add(s_ada);
+        g_cmc.add(s_cmc);
+        g_ff.add(s_ff);
+        g_ours.add(s_ours);
+
+        table.addRow({ids.model, ids.dataset, "1.00", fmtF(s_gpu, 2),
+                      fmtF(s_ada, 2), fmtF(s_cmc, 2), fmtF(s_ff, 2),
+                      fmtF(s_ours, 2)});
     }
     table.addRow({"Geometric", "Mean", "1.00", fmtF(g_gpu.mean(), 2),
                   fmtF(g_ada.mean(), 2), fmtF(g_cmc.mean(), 2),

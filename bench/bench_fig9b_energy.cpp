@@ -19,9 +19,8 @@ using namespace focus;
 int
 main(int argc, char **argv)
 {
-    const int samples = benchSamples(argc, argv, 5);
-    benchBanner("Fig. 9(b): normalized energy with breakdown",
-                samples);
+    const BenchOptions bo = benchOptions(argc, argv, 5);
+    benchBanner("Fig. 9(b): normalized energy with breakdown", bo);
 
     TextTable table({"Model", "Dataset", "Arch", "Core", "Buffer",
                      "DRAM", "Total(norm)"});
@@ -35,48 +34,54 @@ main(int argc, char **argv)
     };
     Geo g_ada, g_cmc, g_ours;
 
+    // Four architectures per (model, dataset) cell, SA first so its
+    // energy normalizes the other three.
+    struct Arch
+    {
+        const char *name;
+        MethodConfig method;
+        AccelConfig accel;
+    };
+    const std::vector<Arch> archs = {
+        {"SA", MethodConfig::dense(), AccelConfig::systolicArray()},
+        {"Adaptiv", MethodConfig::adaptivBaseline(),
+         AccelConfig::adaptiv()},
+        {"CMC", MethodConfig::cmcBaseline(), AccelConfig::cmc()},
+        {"Ours", MethodConfig::focusFull(), AccelConfig::focus()},
+    };
+
+    ExperimentGrid grid(benchEvalOptions(bo));
     for (const std::string &model : videoModelNames()) {
         for (const std::string &dataset : videoDatasetNames()) {
-            EvalOptions opts;
-            opts.samples = samples;
-            Evaluator ev(model, dataset, opts);
+            for (const Arch &arch : archs) {
+                ExperimentCell cell{model, dataset, arch.method,
+                                    arch.accel};
+                cell.tag = arch.name;
+                grid.add(cell);
+            }
+        }
+    }
+    const std::vector<ExperimentResult> res = grid.run();
 
-            const RunMetrics sa = ev.simulate(
-                MethodConfig::dense(), AccelConfig::systolicArray());
-            const double base = sa.energy.total();
-
-            struct Entry
-            {
-                const char *name;
-                RunMetrics rm;
-            };
-            const std::vector<Entry> entries = {
-                {"SA", sa},
-                {"Adaptiv",
-                 ev.simulate(MethodConfig::adaptivBaseline(),
-                             AccelConfig::adaptiv())},
-                {"CMC", ev.simulate(MethodConfig::cmcBaseline(),
-                                    AccelConfig::cmc())},
-                {"Ours", ev.simulate(MethodConfig::focusFull(),
-                                     AccelConfig::focus())},
-            };
-            for (const Entry &e : entries) {
-                const EnergyBreakdown &en = e.rm.energy;
-                const double core_frac =
-                    (en.core + en.sfu + en.sec + en.sic + en.merge) /
-                    base;
-                table.addRow({model, dataset, e.name,
-                              fmtF(core_frac, 3),
-                              fmtF(en.buffer / base, 3),
-                              fmtF(en.dram / base, 3),
-                              fmtF(en.total() / base, 3)});
-                if (std::string(e.name) == "Adaptiv") {
-                    g_ada.add(base / en.total());
-                } else if (std::string(e.name) == "CMC") {
-                    g_cmc.add(base / en.total());
-                } else if (std::string(e.name) == "Ours") {
-                    g_ours.add(base / en.total());
-                }
+    for (size_t i = 0; i < res.size(); i += archs.size()) {
+        const double base = res[i].metrics.energy.total();
+        for (size_t a = 0; a < archs.size(); ++a) {
+            const ExperimentResult &r = res[i + a];
+            const EnergyBreakdown &en = r.metrics.energy;
+            const double core_frac =
+                (en.core + en.sfu + en.sec + en.sic + en.merge) /
+                base;
+            table.addRow({r.cell.model, r.cell.dataset, r.cell.tag,
+                          fmtF(core_frac, 3),
+                          fmtF(en.buffer / base, 3),
+                          fmtF(en.dram / base, 3),
+                          fmtF(en.total() / base, 3)});
+            if (r.cell.tag == "Adaptiv") {
+                g_ada.add(base / en.total());
+            } else if (r.cell.tag == "CMC") {
+                g_cmc.add(base / en.total());
+            } else if (r.cell.tag == "Ours") {
+                g_ours.add(base / en.total());
             }
         }
     }

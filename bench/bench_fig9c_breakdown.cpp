@@ -18,8 +18,8 @@ using namespace focus;
 int
 main(int argc, char **argv)
 {
-    const int samples = benchSamples(argc, argv, 6);
-    benchBanner("Fig. 9(c): Focus area and power breakdown", samples);
+    const BenchOptions bo = benchOptions(argc, argv, 6);
+    benchBanner("Fig. 9(c): Focus area and power breakdown", bo);
 
     const AccelConfig cfg = AccelConfig::focus();
 
@@ -35,11 +35,10 @@ main(int argc, char **argv)
     std::printf("%s\n", area_table.render().c_str());
 
     // ---- power ----
-    EvalOptions opts;
-    opts.samples = samples;
-    Evaluator ev("Llava-Vid", "VideoMME", opts);
-    const RunMetrics rm =
-        ev.simulate(MethodConfig::focusFull(), cfg);
+    ExperimentGrid grid(benchEvalOptions(bo));
+    grid.add({"Llava-Vid", "VideoMME", MethodConfig::focusFull(),
+              cfg});
+    const RunMetrics rm = grid.run().front().metrics;
 
     const EnergyBreakdown &en = rm.energy;
     const double total = en.total();

@@ -19,44 +19,57 @@ using namespace focus;
 int
 main(int argc, char **argv)
 {
-    const int samples = benchSamples(argc, argv, 10);
-    benchBanner("Table II: accuracy and computation sparsity",
-                samples);
+    const BenchOptions bo = benchOptions(argc, argv, 10);
+    benchBanner("Table II: accuracy and computation sparsity", bo);
 
     TextTable table({"Model", "Dataset", "Metric", "Ori.", "FF",
                      "Ada.", "CMC", "Ours"});
+
+    // One functional-only cell per method of the standard roster,
+    // per (model, dataset); the roster's FrameFusion budget depends
+    // on the pair, hence standardMethods() on the shared Evaluator.
+    ExperimentGrid grid(benchEvalOptions(bo));
+    size_t methods_per_cell = 0;
+    for (const std::string &model : videoModelNames()) {
+        for (const std::string &dataset : videoDatasetNames()) {
+            const std::vector<MethodConfig> methods =
+                grid.evaluator(model, dataset).standardMethods();
+            methods_per_cell = methods.size();
+            for (const MethodConfig &m : methods) {
+                ExperimentCell cell{model, dataset, m};
+                cell.simulate = false;
+                cell.trace_sparsity = true;
+                grid.add(cell);
+            }
+        }
+    }
+    const std::vector<ExperimentResult> res = grid.run();
 
     double focus_sparsity_sum = 0.0;
     double focus_acc_drop_sum = 0.0;
     int cells = 0;
 
-    for (const std::string &model : videoModelNames()) {
-        for (const std::string &dataset : videoDatasetNames()) {
-            EvalOptions opts;
-            opts.samples = samples;
-            Evaluator ev(model, dataset, opts);
-
-            std::vector<std::string> acc_row = {model, dataset,
-                                                "Acc.(%)"};
-            std::vector<std::string> sp_row = {"", "", "Sparsity(%)"};
-            double dense_acc = 0.0;
-            for (const MethodConfig &m : ev.standardMethods()) {
-                const MethodEval e = ev.runFunctional(m);
-                const double sp = ev.traceSparsity(m, e);
-                acc_row.push_back(fmtPct(e.accuracy));
-                sp_row.push_back(fmtPct(sp));
-                if (m.kind == MethodKind::Dense) {
-                    dense_acc = e.accuracy;
-                }
-                if (m.kind == MethodKind::Focus) {
-                    focus_sparsity_sum += sp;
-                    focus_acc_drop_sum += dense_acc - e.accuracy;
-                    ++cells;
-                }
+    for (size_t i = 0; i < res.size(); i += methods_per_cell) {
+        std::vector<std::string> acc_row = {res[i].cell.model,
+                                            res[i].cell.dataset,
+                                            "Acc.(%)"};
+        std::vector<std::string> sp_row = {"", "", "Sparsity(%)"};
+        double dense_acc = 0.0;
+        for (size_t m = 0; m < methods_per_cell; ++m) {
+            const ExperimentResult &r = res[i + m];
+            acc_row.push_back(fmtPct(r.eval.accuracy));
+            sp_row.push_back(fmtPct(r.trace_sparsity));
+            if (r.cell.method.kind == MethodKind::Dense) {
+                dense_acc = r.eval.accuracy;
             }
-            table.addRow(acc_row);
-            table.addRow(sp_row);
+            if (r.cell.method.kind == MethodKind::Focus) {
+                focus_sparsity_sum += r.trace_sparsity;
+                focus_acc_drop_sum += dense_acc - r.eval.accuracy;
+                ++cells;
+            }
         }
+        table.addRow(acc_row);
+        table.addRow(sp_row);
     }
 
     std::printf("%s\n", table.render().c_str());

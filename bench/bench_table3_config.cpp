@@ -19,13 +19,9 @@ using namespace focus;
 int
 main(int argc, char **argv)
 {
-    const int samples = benchSamples(argc, argv, 6);
+    const BenchOptions bo = benchOptions(argc, argv, 6);
     benchBanner("Table III: architecture configuration comparison",
-                samples);
-
-    EvalOptions opts;
-    opts.samples = samples;
-    Evaluator ev("Llava-Vid", "VideoMME", opts);
+                bo);
 
     struct Row
     {
@@ -39,21 +35,27 @@ main(int argc, char **argv)
         {MethodConfig::focusFull(), AccelConfig::focus()},
     };
 
+    ExperimentGrid grid(benchEvalOptions(bo));
+    for (const Row &row : rows) {
+        grid.add({"Llava-Vid", "VideoMME", row.method, row.accel});
+    }
+    const std::vector<ExperimentResult> res = grid.run();
+
     TextTable table({"Architecture", "PE Array", "Buffer(KB)",
                      "DRAM(GB/s)", "Area(mm2)", "OnChipPower(mW)"});
-    for (const Row &row : rows) {
-        const RunMetrics rm = ev.simulate(row.method, row.accel);
+    for (const ExperimentResult &r : res) {
+        const AccelConfig &accel = r.cell.accel;
         char pe[32];
-        std::snprintf(pe, sizeof(pe), "%dx%d", row.accel.array_rows,
-                      row.accel.array_cols);
-        const double bw = row.accel.dram.bytes_per_cycle_per_channel *
-            row.accel.dram.channels * row.accel.freq_ghz;
-        table.addRow({row.accel.name, pe,
+        std::snprintf(pe, sizeof(pe), "%dx%d", accel.array_rows,
+                      accel.array_cols);
+        const double bw = accel.dram.bytes_per_cycle_per_channel *
+            accel.dram.channels * accel.freq_ghz;
+        table.addRow({accel.name, pe,
                       fmtF(static_cast<double>(
-                               row.accel.totalBufferBytes()) / 1024.0,
+                               accel.totalBufferBytes()) / 1024.0,
                            0),
-                      fmtF(bw, 0), fmtF(totalArea(row.accel), 2),
-                      fmtF(rm.onChipPowerW() * 1e3, 0)});
+                      fmtF(bw, 0), fmtF(totalArea(accel), 2),
+                      fmtF(r.metrics.onChipPowerW() * 1e3, 0)});
     }
     std::printf("%s\n", table.render().c_str());
     std::printf("Paper reference: area 3.12/3.38/3.58/3.21 mm2, "

@@ -18,44 +18,55 @@ using namespace focus;
 int
 main(int argc, char **argv)
 {
-    const int samples = benchSamples(argc, argv, 8);
-    benchBanner("Table IV: INT8 quantization synergy", samples);
+    const BenchOptions bo = benchOptions(argc, argv, 8);
+    benchBanner("Table IV: INT8 quantization synergy", bo);
 
     TextTable table({"Model", "Dataset", "DenseAcc", "DenseDeg",
                      "OursAcc", "OursDeg", "Sparsity", "SpDeg"});
 
-    double acc_deg_sum = 0.0, sp_deg_sum = 0.0;
-    int cells = 0;
+    // Four functional variants per (model, dataset); only the Focus
+    // pair needs the full-scale sparsity metric.
+    MethodConfig dense_fp = MethodConfig::dense();
+    MethodConfig dense_q = MethodConfig::dense();
+    dense_q.int8 = true;
+    MethodConfig focus_fp = MethodConfig::focusFull();
+    MethodConfig focus_q = MethodConfig::focusFull();
+    focus_q.int8 = true;
+
+    ExperimentGrid grid(benchEvalOptions(bo));
+    constexpr size_t kPerCell = 4;
     for (const std::string &model : videoModelNames()) {
         for (const std::string &dataset : videoDatasetNames()) {
-            EvalOptions opts;
-            opts.samples = samples;
-            Evaluator ev(model, dataset, opts);
-
-            MethodConfig dense_fp = MethodConfig::dense();
-            MethodConfig dense_q = MethodConfig::dense();
-            dense_q.int8 = true;
-            MethodConfig focus_fp = MethodConfig::focusFull();
-            MethodConfig focus_q = MethodConfig::focusFull();
-            focus_q.int8 = true;
-
-            const MethodEval dfp = ev.runFunctional(dense_fp);
-            const MethodEval dq = ev.runFunctional(dense_q);
-            const MethodEval ffp = ev.runFunctional(focus_fp);
-            const MethodEval fq = ev.runFunctional(focus_q);
-
-            const double sp_fp = ev.traceSparsity(focus_fp, ffp);
-            const double sp_q = ev.traceSparsity(focus_q, fq);
-
-            table.addRow({model, dataset, fmtPct(dq.accuracy),
-                          fmtPct(dfp.accuracy - dq.accuracy),
-                          fmtPct(fq.accuracy),
-                          fmtPct(ffp.accuracy - fq.accuracy),
-                          fmtPct(sp_q), fmtPct(sp_fp - sp_q)});
-            acc_deg_sum += ffp.accuracy - fq.accuracy;
-            sp_deg_sum += sp_fp - sp_q;
-            ++cells;
+            for (const MethodConfig &m :
+                 {dense_fp, dense_q, focus_fp, focus_q}) {
+                ExperimentCell cell{model, dataset, m};
+                cell.simulate = false;
+                cell.trace_sparsity = m.kind == MethodKind::Focus;
+                grid.add(cell);
+            }
         }
+    }
+    const std::vector<ExperimentResult> res = grid.run();
+
+    double acc_deg_sum = 0.0, sp_deg_sum = 0.0;
+    int cells = 0;
+    for (size_t i = 0; i < res.size(); i += kPerCell) {
+        const ExperimentResult &dfp = res[i];
+        const ExperimentResult &dq = res[i + 1];
+        const ExperimentResult &ffp = res[i + 2];
+        const ExperimentResult &fq = res[i + 3];
+
+        table.addRow({dfp.cell.model, dfp.cell.dataset,
+                      fmtPct(dq.eval.accuracy),
+                      fmtPct(dfp.eval.accuracy - dq.eval.accuracy),
+                      fmtPct(fq.eval.accuracy),
+                      fmtPct(ffp.eval.accuracy - fq.eval.accuracy),
+                      fmtPct(fq.trace_sparsity),
+                      fmtPct(ffp.trace_sparsity -
+                             fq.trace_sparsity)});
+        acc_deg_sum += ffp.eval.accuracy - fq.eval.accuracy;
+        sp_deg_sum += ffp.trace_sparsity - fq.trace_sparsity;
+        ++cells;
     }
     std::printf("%s\n", table.render().c_str());
     std::printf("Mean Focus accuracy degradation under INT8: %.2f%% "

@@ -20,48 +20,51 @@ using namespace focus;
 int
 main(int argc, char **argv)
 {
-    const int samples = benchSamples(argc, argv, 8);
-    benchBanner("Table V: image-VLM generalization", samples);
+    const BenchOptions bo = benchOptions(argc, argv, 8);
+    benchBanner("Table V: image-VLM generalization", bo);
 
-    TextTable table({"Model", "Dataset", "Metric", "Dense", "AdapTiV",
-                     "Ours"});
+    // Single frame: restrict the SIC window temporally.
+    MethodConfig single_frame_focus = MethodConfig::focusFull();
+    single_frame_focus.focus.sic.block_f = 1;
 
+    struct Arch
+    {
+        MethodConfig method;
+        AccelConfig accel;
+    };
+    const std::vector<Arch> archs = {
+        {MethodConfig::dense(), AccelConfig::systolicArray()},
+        {MethodConfig::adaptivBaseline(), AccelConfig::adaptiv()},
+        {single_frame_focus, AccelConfig::focus()},
+    };
+
+    ExperimentGrid grid(benchEvalOptions(bo));
     for (const std::string &model :
          {std::string("Llava-OV"), std::string("Qwen2.5-VL")}) {
         for (const std::string &dataset : imageDatasetNames()) {
-            EvalOptions opts;
-            opts.samples = samples;
-            Evaluator ev(model, dataset, opts);
-
-            // Single frame: restrict the SIC window temporally.
-            MethodConfig focus = MethodConfig::focusFull();
-            focus.focus.sic.block_f = 1;
-
-            const MethodEval dense =
-                ev.runFunctional(MethodConfig::dense());
-            const MethodEval ada =
-                ev.runFunctional(MethodConfig::adaptivBaseline());
-            const MethodEval ours = ev.runFunctional(focus);
-
-            const RunMetrics sa = simulateAccelerator(
-                AccelConfig::systolicArray(),
-                ev.buildFullTrace(MethodConfig::dense(), dense));
-            const RunMetrics ada_rm = simulateAccelerator(
-                AccelConfig::adaptiv(),
-                ev.buildFullTrace(MethodConfig::adaptivBaseline(),
-                                  ada));
-            const RunMetrics ours_rm = simulateAccelerator(
-                AccelConfig::focus(), ev.buildFullTrace(focus, ours));
-
-            table.addRow({model, dataset, "Speedup", "1.00",
-                          fmtX(static_cast<double>(sa.cycles) /
-                               ada_rm.cycles),
-                          fmtX(static_cast<double>(sa.cycles) /
-                               ours_rm.cycles)});
-            table.addRow({"", "", "Accuracy(%)", fmtPct(dense.accuracy),
-                          fmtPct(ada.accuracy),
-                          fmtPct(ours.accuracy)});
+            for (const Arch &arch : archs) {
+                grid.add({model, dataset, arch.method, arch.accel});
+            }
         }
+    }
+    const std::vector<ExperimentResult> res = grid.run();
+
+    TextTable table({"Model", "Dataset", "Metric", "Dense", "AdapTiV",
+                     "Ours"});
+    for (size_t i = 0; i < res.size(); i += archs.size()) {
+        const ExperimentResult &dense = res[i];
+        const ExperimentResult &ada = res[i + 1];
+        const ExperimentResult &ours = res[i + 2];
+        const double sa_cycles =
+            static_cast<double>(dense.metrics.cycles);
+
+        table.addRow({dense.cell.model, dense.cell.dataset, "Speedup",
+                      "1.00", fmtX(sa_cycles / ada.metrics.cycles),
+                      fmtX(sa_cycles / ours.metrics.cycles)});
+        table.addRow({"", "", "Accuracy(%)",
+                      fmtPct(dense.eval.accuracy),
+                      fmtPct(ada.eval.accuracy),
+                      fmtPct(ours.eval.accuracy)});
     }
     std::printf("%s\n", table.render().c_str());
     return 0;

@@ -2,11 +2,14 @@
  * @file
  * Shared helpers for the bench harness binaries.
  *
- * Every bench accepts an optional sample-count argument (argv[1], or
- * the FOCUS_BENCH_SAMPLES environment variable) controlling how many
- * synthetic QA samples feed each functional measurement; defaults are
- * sized so the full bench suite completes in minutes.  Results are
- * deterministic in the seed.
+ * Every bench accepts an optional sample-count argument (the first
+ * non-flag argument, or the FOCUS_BENCH_SAMPLES environment variable)
+ * controlling how many synthetic QA samples feed each functional
+ * measurement, and a `--threads=N` flag (or the FOCUS_THREADS
+ * environment variable) sizing the thread pool that the experiment
+ * grid dispatches cells on; defaults are sized so the full bench
+ * suite completes in minutes.  Results are deterministic in the seed
+ * and bit-identical at every thread count.
  */
 
 #ifndef FOCUS_BENCH_BENCH_UTIL_H
@@ -14,25 +17,72 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
+#include "common/logging.h"
+#include "eval/experiment.h"
 #include "eval/evaluator.h"
+#include "runtime/thread_pool.h"
 #include "sim/gpu_model.h"
 
 namespace focus
 {
 
-/** Parse the per-cell sample count. */
-inline int
-benchSamples(int argc, char **argv, int fallback)
+/** Parsed bench command line. */
+struct BenchOptions
 {
-    if (argc > 1) {
-        return std::max(1, std::atoi(argv[1]));
+    int samples = 1; ///< QA samples per grid cell
+    int threads = 0; ///< explicit --threads=N (0 = pool default)
+};
+
+/**
+ * Parse "[samples] [--threads=N]" with the environment fallbacks
+ * described in the file header, and size the global pool when
+ * --threads is given.
+ */
+inline BenchOptions
+benchOptions(int argc, char **argv, int fallback_samples)
+{
+    BenchOptions bo;
+    bo.samples = fallback_samples;
+    bool have_samples = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+            bo.threads = std::atoi(argv[i] + 10);
+            if (bo.threads < 1) {
+                fatal("invalid thread count in '%s' (want a "
+                      "positive integer)", argv[i]);
+            }
+        } else if (argv[i][0] == '-' && argv[i][1] != '\0' &&
+                   (argv[i][1] < '0' || argv[i][1] > '9')) {
+            // Reject unknown flags loudly: a typo like --thread=4
+            // must not silently become the sample count.
+            fatal("unknown option '%s' (usage: %s [samples] "
+                  "[--threads=N])", argv[i], argv[0]);
+        } else if (!have_samples) {
+            bo.samples = std::max(1, std::atoi(argv[i]));
+            have_samples = true;
+        }
     }
-    if (const char *env = std::getenv("FOCUS_BENCH_SAMPLES")) {
-        return std::max(1, std::atoi(env));
+    if (!have_samples) {
+        if (const char *env = std::getenv("FOCUS_BENCH_SAMPLES")) {
+            bo.samples = std::max(1, std::atoi(env));
+        }
     }
-    return fallback;
+    if (bo.threads > 0) {
+        ThreadPool::setGlobalThreads(bo.threads);
+    }
+    return bo;
+}
+
+/** Shorthand for the per-cell evaluation options. */
+inline EvalOptions
+benchEvalOptions(const BenchOptions &bo)
+{
+    EvalOptions opts;
+    opts.samples = bo.samples;
+    return opts;
 }
 
 /** Accelerator architecture matching a method (for Fig. 9 style). */
@@ -53,12 +103,13 @@ accelForMethod(const MethodConfig &m)
 
 /** Standard bench banner. */
 inline void
-benchBanner(const char *what, int samples)
+benchBanner(const char *what, const BenchOptions &bo)
 {
     std::printf("=== %s ===\n", what);
     std::printf("(synthetic reproduction; %d samples per cell; "
-                "see EXPERIMENTS.md for paper-vs-measured)\n\n",
-                samples);
+                "%d threads; see EXPERIMENTS.md for "
+                "paper-vs-measured)\n\n",
+                bo.samples, ThreadPool::global().threads());
 }
 
 } // namespace focus

@@ -5,6 +5,7 @@
  * hyper-parameters can be placed in the paper's operating regime.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -17,7 +18,7 @@ int
 main(int argc, char **argv)
 {
     EvalOptions opts;
-    opts.samples = argc > 1 ? std::atoi(argv[1]) : 8;
+    opts.samples = argc > 1 ? std::max(1, std::atoi(argv[1])) : 8;
     const std::string dataset = argc > 2 ? argv[2] : "VideoMME";
 
     Evaluator ev("Llava-Vid", dataset, opts);

@@ -5,15 +5,19 @@
  *
  *   design_space [samples]
  *
- * Demonstrates driving the trace/simulation layers directly: one
- * functional measurement is reused across many accelerator
- * configurations, which is how an architect would sweep a design.
+ * Demonstrates the two-layer experiment API: an ExperimentGrid cell
+ * produces the functional measurement and its full-scale trace (the
+ * grid parallelizes sample evaluation on the thread pool — set
+ * FOCUS_THREADS to control it), and the trace is then reused across
+ * many accelerator configurations, which is how an architect would
+ * sweep a design.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
-#include "eval/evaluator.h"
+#include "eval/experiment.h"
 #include "eval/report.h"
 #include "sim/area.h"
 
@@ -23,15 +27,21 @@ int
 main(int argc, char **argv)
 {
     EvalOptions opts;
-    opts.samples = argc > 1 ? std::atoi(argv[1]) : 4;
+    opts.samples = argc > 1 ? std::max(1, std::atoi(argv[1])) : 4;
 
-    Evaluator ev("Llava-Vid", "VideoMME", opts);
-    std::printf("Functional measurement (one pass, reused by every "
-                "design point)...\n");
-    const MethodEval eval =
-        ev.runFunctional(MethodConfig::focusFull());
-    const WorkloadTrace trace =
-        ev.buildFullTrace(MethodConfig::focusFull(), eval);
+    std::printf("Functional measurement (one grid cell, reused by "
+                "every design point; %d threads)...\n",
+                ThreadPool::global().threads());
+    ExperimentGrid grid(opts);
+    ExperimentCell cell{"Llava-Vid", "VideoMME",
+                        MethodConfig::focusFull()};
+    cell.simulate = false;
+    cell.keep_trace = true;
+    grid.add(cell);
+    const ExperimentResult measured = grid.run().front();
+    const WorkloadTrace &trace = measured.trace;
+
+    const Evaluator &ev = grid.evaluator("Llava-Vid", "VideoMME");
     const WorkloadTrace dense_trace =
         buildDenseTrace(ev.modelProfile(), ev.datasetProfile());
 

@@ -11,6 +11,7 @@
  * GPU model, and Focus.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -24,7 +25,7 @@ int
 main(int argc, char **argv)
 {
     EvalOptions opts;
-    opts.samples = argc > 1 ? std::atoi(argv[1]) : 4;
+    opts.samples = argc > 1 ? std::max(1, std::atoi(argv[1])) : 4;
 
     Evaluator ev("Llava-Vid", "VideoMME", opts);
 

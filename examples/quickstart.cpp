@@ -10,6 +10,7 @@
  * accuracy, computation sparsity, speedup and energy ratios.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -24,7 +25,7 @@ int
 main(int argc, char **argv)
 {
     EvalOptions opts;
-    opts.samples = argc > 1 ? std::atoi(argv[1]) : 6;
+    opts.samples = argc > 1 ? std::max(1, std::atoi(argv[1])) : 6;
 
     std::printf("Focus quickstart: Llava-Vid x VideoMME, %d samples\n\n",
                 opts.samples);

@@ -16,6 +16,7 @@
  * object?), sparsity, and speedup/energy over the dense array.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -28,7 +29,7 @@ int
 main(int argc, char **argv)
 {
     EvalOptions opts;
-    opts.samples = argc > 1 ? std::atoi(argv[1]) : 8;
+    opts.samples = argc > 1 ? std::max(1, std::atoi(argv[1])) : 8;
 
     std::printf("VLA extension demo: manipulation episodes "
                 "(%d episodes)\n\n", opts.samples);

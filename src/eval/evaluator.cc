@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "runtime/thread_pool.h"
 
 namespace focus
 {
@@ -22,8 +23,14 @@ Evaluator::Evaluator(const std::string &model_name,
 }
 
 MethodEval
-Evaluator::runFunctional(const MethodConfig &method) const
+Evaluator::runFunctional(const MethodConfig &method,
+                         ThreadPool *pool) const
 {
+    if (opts_.samples <= 0) {
+        panic("Evaluator::runFunctional: EvalOptions::samples must be "
+              "positive (got %d)", opts_.samples);
+    }
+
     MethodEval ev;
     ev.method = method.name();
 
@@ -37,13 +44,26 @@ Evaluator::runFunctional(const MethodConfig &method) const
     agg.psi_ffn.assign(static_cast<size_t>(L), 0.0);
     agg.psi_down.assign(static_cast<size_t>(L), 0.0);
 
+    // Per-sample forward passes fan out across the pool; each task
+    // writes only its own slot.  The aggregation below then runs
+    // serially in sample order, so every floating-point sum is
+    // evaluated in exactly the order the serial loop used — results
+    // are bit-identical at any thread count (threads=1 never spawns
+    // a thread at all).
+    std::vector<ForwardResult> forwards(
+        static_cast<size_t>(opts_.samples));
+    (pool ? *pool : ThreadPool::global()).parallelFor(
+        opts_.samples, [&](int64_t s) {
+            const VideoSample sample =
+                gen_.sample(static_cast<uint64_t>(s));
+            forwards[static_cast<size_t>(s)] =
+                model_.forward(sample, method, gen_.bank());
+        });
+
     int correct = 0;
     double sparsity_sum = 0.0;
     for (int s = 0; s < opts_.samples; ++s) {
-        const VideoSample sample =
-            gen_.sample(static_cast<uint64_t>(s));
-        const ForwardResult fr =
-            model_.forward(sample, method, gen_.bank());
+        const ForwardResult &fr = forwards[static_cast<size_t>(s)];
         correct += fr.correct ? 1 : 0;
         sparsity_sum += fr.sparsity();
         for (int l = 0; l < L; ++l) {

@@ -20,6 +20,11 @@
 
 namespace focus
 {
+class ThreadPool;
+}
+
+namespace focus
+{
 
 /** Options shared by all experiments. */
 struct EvalOptions
@@ -47,8 +52,13 @@ class Evaluator
     Evaluator(const std::string &model_name,
               const std::string &dataset_name, const EvalOptions &opts);
 
-    /** Functional run: accuracy, sparsity, per-layer aggregates. */
-    MethodEval runFunctional(const MethodConfig &method) const;
+    /**
+     * Functional run: accuracy, sparsity, per-layer aggregates.
+     * Samples fan out across @p pool (the global pool when null);
+     * aggregates are bit-identical at every thread count.
+     */
+    MethodEval runFunctional(const MethodConfig &method,
+                             ThreadPool *pool = nullptr) const;
 
     /** Build the full-scale trace implied by a functional run. */
     WorkloadTrace buildFullTrace(const MethodConfig &method,

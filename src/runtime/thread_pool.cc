@@ -1,0 +1,189 @@
+#include "runtime/thread_pool.h"
+
+#include <cstdlib>
+#include <memory>
+
+#include "common/logging.h"
+
+namespace focus
+{
+
+namespace
+{
+
+thread_local bool tls_in_parallel = false;
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+
+} // namespace
+
+ThreadPool::ThreadPool(int threads)
+    : threads_(threads > 0 ? threads : defaultThreads())
+{
+    workers_.reserve(static_cast<size_t>(threads_ - 1));
+    for (int w = 1; w < threads_; ++w) {
+        workers_.emplace_back([this] { workerLoop(); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        stop_ = true;
+    }
+    cv_job_.notify_all();
+    for (std::thread &t : workers_) {
+        t.join();
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    uint64_t seen = 0;
+    for (;;) {
+        Job *job = nullptr;
+        {
+            std::unique_lock<std::mutex> lk(m_);
+            cv_job_.wait(lk,
+                         [&] { return stop_ || epoch_ != seen; });
+            if (stop_) {
+                return;
+            }
+            seen = epoch_;
+            job = job_;
+            if (!job) {
+                // The job finished before this worker woke up.
+                continue;
+            }
+            ++job->active;
+        }
+        runJob(*job);
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            --job->active;
+        }
+        cv_done_.notify_all();
+    }
+}
+
+void
+ThreadPool::runJob(Job &job)
+{
+    const bool was_nested = tls_in_parallel;
+    tls_in_parallel = true;
+    for (;;) {
+        const int64_t i =
+            job.cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= job.n) {
+            break;
+        }
+        try {
+            (*job.fn)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(m_);
+            if (job.error_index < 0 || i < job.error_index) {
+                job.error_index = i;
+                job.error = std::current_exception();
+            }
+            // Cancel the indices nobody claimed yet.
+            job.cursor.store(job.n, std::memory_order_relaxed);
+        }
+    }
+    tls_in_parallel = was_nested;
+}
+
+void
+ThreadPool::parallelFor(int64_t n,
+                        const std::function<void(int64_t)> &fn)
+{
+    if (n <= 0) {
+        return;
+    }
+    if (threads_ == 1 || tls_in_parallel) {
+        // Serial fallback: no threads, no cursor, exceptions
+        // propagate directly.  The region is still marked so that a
+        // nested parallelFor — even on a wider pool — stays inline:
+        // the outermost parallelFor decides the parallelism.
+        const bool was_nested = tls_in_parallel;
+        tls_in_parallel = true;
+        try {
+            for (int64_t i = 0; i < n; ++i) {
+                fn(i);
+            }
+        } catch (...) {
+            tls_in_parallel = was_nested;
+            throw;
+        }
+        tls_in_parallel = was_nested;
+        return;
+    }
+    if (n == 1) {
+        // A single index carries no outer parallelism, so run it
+        // inline *without* marking the region: a nested parallelFor
+        // (e.g. the per-sample layer under a one-cell experiment
+        // grid) may still fan out across this pool.
+        fn(0);
+        return;
+    }
+
+    Job job;
+    job.fn = &fn;
+    job.n = n;
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        job_ = &job;
+        ++epoch_;
+    }
+    cv_job_.notify_all();
+
+    runJob(job); // the caller is worker 0
+
+    std::unique_lock<std::mutex> lk(m_);
+    job_ = nullptr; // no new worker may join past this point
+    cv_done_.wait(lk, [&] { return job.active == 0; });
+    if (job.error) {
+        std::rethrow_exception(job.error);
+    }
+}
+
+bool
+ThreadPool::inParallelRegion()
+{
+    return tls_in_parallel;
+}
+
+int
+ThreadPool::defaultThreads()
+{
+    if (const char *env = std::getenv("FOCUS_THREADS")) {
+        const int v = std::atoi(env);
+        if (v >= 1) {
+            return v;
+        }
+        warn("ignoring invalid FOCUS_THREADS=%s", env);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1u ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> lk(g_pool_mutex);
+    if (!g_pool) {
+        g_pool = std::make_unique<ThreadPool>();
+    }
+    return *g_pool;
+}
+
+void
+ThreadPool::setGlobalThreads(int threads)
+{
+    std::lock_guard<std::mutex> lk(g_pool_mutex);
+    g_pool = std::make_unique<ThreadPool>(threads);
+}
+
+} // namespace focus
