@@ -8,12 +8,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+
 #include "common/rng.h"
 #include "focus/offset_encoding.h"
 #include "focus/sec.h"
 #include "focus/sic.h"
+#include "runtime/thread_pool.h"
 #include "sim/dram.h"
 #include "sim/systolic.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "tensor/quant.h"
 
@@ -47,6 +52,61 @@ BM_Gemm(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_GemmNaive(benchmark::State &state)
+{
+    // A/B reference: the pre-kernel-layer ikj triple loop, selected
+    // through the same dispatch the FOCUS_GEMM_BACKEND knob drives.
+    const int64_t n = state.range(0);
+    Rng rng(1);
+    const Tensor a = randomTensor(rng, n, n);
+    const Tensor b = randomTensor(rng, n, n);
+    Tensor c;
+    const kernels::GemmBackend prev = kernels::activeBackend();
+    kernels::setBackend(kernels::GemmBackend::Naive);
+    for (auto _ : state) {
+        gemm(a, b, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    kernels::setBackend(prev);
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmNaive)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_GemmFp16(benchmark::State &state)
+{
+    // fp16-input variant: operands rounded through binary16 during
+    // packing (not per-FMA).
+    const int64_t n = state.range(0);
+    Rng rng(1);
+    const Tensor a = randomTensor(rng, n, n);
+    const Tensor b = randomTensor(rng, n, n);
+    Tensor c;
+    for (auto _ : state) {
+        gemm(a, b, c, /*fp16_inputs=*/true);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmFp16)->Arg(64)->Arg(128);
+
+void
+BM_GemmTransB(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(1);
+    const Tensor a = randomTensor(rng, n, n);
+    const Tensor b = randomTensor(rng, n, n); // (N x K) row-major
+    Tensor c;
+    for (auto _ : state) {
+        gemmTransB(a, b, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmTransB)->Arg(64)->Arg(128);
 
 void
 BM_GemmInt8(benchmark::State &state)
@@ -164,4 +224,40 @@ BENCHMARK(BM_TimeGemmModel);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Custom main: kernel microbenches measure the functional kernels the
+// pool's workers execute, so the pool defaults to a single thread
+// here (the blocked GEMM would otherwise fan M blocks out and the
+// per-kernel numbers would depend on the host's core count).
+// --threads=N opts back in to a wider pool; the GEMM backend follows
+// FOCUS_GEMM_BACKEND as everywhere else.
+int
+main(int argc, char **argv)
+{
+    int threads = 1;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+            threads = std::atoi(argv[i] + 10);
+            if (threads < 1) {
+                std::fprintf(stderr,
+                             "bench_micro_kernels: bad %s "
+                             "(expected --threads=N, N >= 1)\n",
+                             argv[i]);
+                return 1;
+            }
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    ThreadPool::setGlobalThreads(threads);
+    std::printf("# pool threads: %d, gemm backend: %s\n",
+                ThreadPool::global().threads(),
+                kernels::backendName(kernels::activeBackend()));
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

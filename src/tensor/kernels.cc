@@ -1,0 +1,727 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/half.h"
+#include "common/logging.h"
+#include "runtime/thread_pool.h"
+
+// Portable restrict qualifier: the microkernels rely on it so the
+// compiler can vectorize the packed-panel loops without alias checks.
+#if defined(_MSC_VER)
+#define FOCUS_RESTRICT __restrict
+#else
+#define FOCUS_RESTRICT __restrict__
+#endif
+
+// Function multi-versioning for the hot FP kernels: on x86-64 the
+// loader picks the widest clone the CPU supports (x86-64-v3 = AVX2 +
+// FMA, then AVX2, then baseline SSE2) — no -march flags, so the
+// binary stays portable.  The v3 clone contracts each mul+add step
+// into one FMA, which changes rounding vs the baseline clone; to keep
+// the blocked-vs-naive bit-identity invariant machine-independent,
+// the SAME clone list is applied to the naive reference kernels in
+// this TU, so every backend contracts identically on any given
+// machine.  (Cross-machine value drift already exists via libm; all
+// determinism contracts in this repo are within-build.)
+#ifndef __has_attribute
+#define __has_attribute(x) 0
+#endif
+#if defined(__x86_64__) && __has_attribute(target_clones) &&          \
+    defined(__linux__)
+#define FOCUS_KERNEL_CLONES                                           \
+    __attribute__((                                                   \
+        target_clones("default", "avx2", "arch=x86-64-v3")))
+#else
+#define FOCUS_KERNEL_CLONES
+#endif
+
+namespace focus
+{
+namespace kernels
+{
+
+namespace
+{
+
+// -----------------------------------------------------------------
+// Backend selection
+// -----------------------------------------------------------------
+
+GemmBackend
+backendFromEnv()
+{
+    const char *env = std::getenv("FOCUS_GEMM_BACKEND");
+    if (env == nullptr || *env == '\0') {
+        return GemmBackend::Portable;
+    }
+    GemmBackend b;
+    if (!parseBackend(env, b)) {
+        panic("FOCUS_GEMM_BACKEND: unknown backend '%s' "
+              "(expected portable|naive|blas)",
+              env);
+    }
+    if (b == GemmBackend::Blas && !blasAvailable()) {
+        panic("FOCUS_GEMM_BACKEND=blas but this binary was built "
+              "without FOCUS_WITH_BLAS");
+    }
+    return b;
+}
+
+std::atomic<GemmBackend> g_backend{backendFromEnv()};
+
+// -----------------------------------------------------------------
+// Packing
+//
+// B is packed once per gemm call into column panels of kNr: panel jp
+// holds, for each depth step p, the kNr values b[p][jp*kNr .. +kNr),
+// zero-padded past n.  The microkernel then streams one contiguous
+// kNr-wide panel slice per K block.  A is packed per (M block, K
+// block) into row quads of kMr: quad iq holds, for each depth step p,
+// the kMr values a[iq*kMr .. +kMr)[p], zero-padded past m.  fp16
+// operand rounding happens here, once per element, so the microkernel
+// hot loop stays branch-free.
+// -----------------------------------------------------------------
+
+void
+packB(const float *b, int64_t ldb, int64_t k, int64_t n, bool fp16,
+      float *FOCUS_RESTRICT dst)
+{
+    const int64_t full = (n / kNr) * kNr;
+    const int64_t panel_stride = k * kNr;
+    // Row-major pass over B: each source row is read once
+    // sequentially and scattered into the per-panel slots for depth
+    // step p.
+    for (int64_t p = 0; p < k; ++p) {
+        const float *FOCUS_RESTRICT src = b + p * ldb;
+        float *out = dst + p * kNr;
+        int64_t j0 = 0;
+        if (fp16) {
+            for (; j0 < full; j0 += kNr, out += panel_stride) {
+                for (int64_t j = 0; j < kNr; ++j) {
+                    out[j] = fp16Round(src[j0 + j]);
+                }
+            }
+        } else {
+            for (; j0 < full; j0 += kNr, out += panel_stride) {
+                for (int64_t j = 0; j < kNr; ++j) {
+                    out[j] = src[j0 + j];
+                }
+            }
+        }
+        if (j0 < n) {
+            const int64_t nr = n - j0;
+            for (int64_t j = 0; j < nr; ++j) {
+                out[j] = fp16 ? fp16Round(src[j0 + j]) : src[j0 + j];
+            }
+            for (int64_t j = nr; j < kNr; ++j) {
+                out[j] = 0.0f;
+            }
+        }
+    }
+}
+
+void
+packA(const float *a, int64_t lda, const int64_t *a_rows, int64_t i0,
+      int64_t mb, int64_t k0, int64_t kc, bool fp16,
+      float *FOCUS_RESTRICT dst)
+{
+    const int64_t full = (mb / kMr) * kMr;
+    int64_t iq = 0;
+    // Full quads: branch-free 4-row interleave.
+    for (; iq < full; iq += kMr, dst += kMr * kc) {
+        const float *FOCUS_RESTRICT r0;
+        const float *FOCUS_RESTRICT r1;
+        const float *FOCUS_RESTRICT r2;
+        const float *FOCUS_RESTRICT r3;
+        if (a_rows != nullptr) {
+            r0 = a + a_rows[i0 + iq] * lda + k0;
+            r1 = a + a_rows[i0 + iq + 1] * lda + k0;
+            r2 = a + a_rows[i0 + iq + 2] * lda + k0;
+            r3 = a + a_rows[i0 + iq + 3] * lda + k0;
+        } else {
+            r0 = a + (i0 + iq) * lda + k0;
+            r1 = r0 + lda;
+            r2 = r1 + lda;
+            r3 = r2 + lda;
+        }
+        if (fp16) {
+            for (int64_t p = 0; p < kc; ++p) {
+                dst[p * kMr] = fp16Round(r0[p]);
+                dst[p * kMr + 1] = fp16Round(r1[p]);
+                dst[p * kMr + 2] = fp16Round(r2[p]);
+                dst[p * kMr + 3] = fp16Round(r3[p]);
+            }
+        } else {
+            for (int64_t p = 0; p < kc; ++p) {
+                dst[p * kMr] = r0[p];
+                dst[p * kMr + 1] = r1[p];
+                dst[p * kMr + 2] = r2[p];
+                dst[p * kMr + 3] = r3[p];
+            }
+        }
+    }
+    // Trailing partial quad: zero-fill, then copy the valid rows.
+    if (iq < mb) {
+        std::fill(dst, dst + kMr * kc, 0.0f);
+        for (int64_t r = 0; iq + r < mb; ++r) {
+            const int64_t i = i0 + iq + r;
+            const int64_t src_row = a_rows != nullptr ? a_rows[i] : i;
+            const float *FOCUS_RESTRICT src = a + src_row * lda + k0;
+            for (int64_t p = 0; p < kc; ++p) {
+                dst[p * kMr + r] = fp16 ? fp16Round(src[p]) : src[p];
+            }
+        }
+    }
+}
+
+// -----------------------------------------------------------------
+// Microkernels
+//
+// micro4x8: the full-tile kernel.  ap is a packed kMr-row quad
+// (kMr values per depth step), bp a packed kNr-wide panel slice.  On
+// the first K block (load_c false) the accumulators start at zero —
+// folding the output zeroing into the kernel; later K blocks load the
+// partial C tile first and accumulation across K blocks stays
+// strictly sequential in k per element — the bit-exactness invariant.
+// -----------------------------------------------------------------
+
+FOCUS_KERNEL_CLONES void
+micro4x8(int64_t kc, const float *FOCUS_RESTRICT ap,
+         const float *FOCUS_RESTRICT bp, float *FOCUS_RESTRICT c,
+         int64_t ldc, bool load_c)
+{
+    float acc[kMr][kNr] = {};
+    if (load_c) {
+        for (int64_t r = 0; r < kMr; ++r) {
+            for (int64_t j = 0; j < kNr; ++j) {
+                acc[r][j] = c[r * ldc + j];
+            }
+        }
+    }
+    // Per-row inner loops: each row's 8-wide update is an independent
+    // j-loop, which GCC turns into exactly one broadcast + one 8-lane
+    // multiply-add per row per depth step.
+    for (int64_t p = 0; p < kc; ++p) {
+        for (int64_t r = 0; r < kMr; ++r) {
+            const float ar = ap[r];
+            for (int64_t j = 0; j < kNr; ++j) {
+                acc[r][j] += ar * bp[j];
+            }
+        }
+        ap += kMr;
+        bp += kNr;
+    }
+    for (int64_t r = 0; r < kMr; ++r) {
+        for (int64_t j = 0; j < kNr; ++j) {
+            c[r * ldc + j] = acc[r][j];
+        }
+    }
+}
+
+/** Edge-tile variant: identical accumulation, partial C load/store. */
+FOCUS_KERNEL_CLONES void
+microEdge(int64_t kc, const float *FOCUS_RESTRICT ap,
+          const float *FOCUS_RESTRICT bp, float *FOCUS_RESTRICT c,
+          int64_t ldc, int64_t mr, int64_t nr, bool load_c)
+{
+    float acc[kMr][kNr] = {};
+    if (load_c) {
+        for (int64_t r = 0; r < mr; ++r) {
+            for (int64_t j = 0; j < nr; ++j) {
+                acc[r][j] = c[r * ldc + j];
+            }
+        }
+    }
+    for (int64_t p = 0; p < kc; ++p) {
+        for (int64_t r = 0; r < kMr; ++r) {
+            const float ar = ap[r];
+            for (int64_t j = 0; j < kNr; ++j) {
+                acc[r][j] += ar * bp[j];
+            }
+        }
+        ap += kMr;
+        bp += kNr;
+    }
+    for (int64_t r = 0; r < mr; ++r) {
+        for (int64_t j = 0; j < nr; ++j) {
+            c[r * ldc + j] = acc[r][j];
+        }
+    }
+}
+
+/**
+ * One M block: pack A per K block and run the panel microkernels.
+ * Writes only C rows [i0, i0+mb), so concurrent blocks never overlap.
+ */
+void
+gemmBlock(int64_t i0, int64_t mb, int64_t n, int64_t k, const float *a,
+          int64_t lda, const int64_t *a_rows, const float *bpack,
+          float *c, int64_t ldc, bool fp16, bool accumulate)
+{
+    static thread_local std::vector<float> apack;
+    const int64_t mbp = ((mb + kMr - 1) / kMr) * kMr;
+    const int64_t panels = (n + kNr - 1) / kNr;
+    for (int64_t k0 = 0; k0 < k; k0 += kKc) {
+        const int64_t kc = std::min(kKc, k - k0);
+        // The first K block starts accumulators at zero unless the
+        // caller asked to accumulate into existing C.
+        const bool load_c = accumulate || k0 > 0;
+        apack.resize(static_cast<size_t>(mbp * kc));
+        packA(a, lda, a_rows, i0, mb, k0, kc, fp16, apack.data());
+        for (int64_t jp = 0; jp < panels; ++jp) {
+            const int64_t nr = std::min(kNr, n - jp * kNr);
+            const float *bp = bpack + jp * (k * kNr) + k0 * kNr;
+            for (int64_t iq = 0; iq < mb; iq += kMr) {
+                const int64_t mr = std::min(kMr, mb - iq);
+                const float *ap =
+                    apack.data() + (iq / kMr) * (kc * kMr);
+                float *cp = c + (i0 + iq) * ldc + jp * kNr;
+                if (mr == kMr && nr == kNr) {
+                    micro4x8(kc, ap, bp, cp, ldc, load_c);
+                } else {
+                    microEdge(kc, ap, bp, cp, ldc, mr, nr, load_c);
+                }
+            }
+        }
+    }
+}
+
+/**
+ * Four-row dot microkernel preserving ops.h `dot`'s 4-way lane split:
+ * per output, lane L accumulates terms k = L, L+4, L+8, ... and the
+ * tail (k % 4 leftovers) folds into lane 0; the final sum is
+ * (l0+l1)+(l2+l3), exactly as `dot` computes it.
+ */
+FOCUS_KERNEL_CLONES void
+dot4(const float *FOCUS_RESTRICT q, const float *FOCUS_RESTRICT b0,
+     const float *FOCUS_RESTRICT b1, const float *FOCUS_RESTRICT b2,
+     const float *FOCUS_RESTRICT b3, int64_t k, float scale,
+     float *FOCUS_RESTRICT out)
+{
+    float l0[4] = {}, l1[4] = {}, l2[4] = {}, l3[4] = {};
+    int64_t p = 0;
+    for (; p + 4 <= k; p += 4) {
+        for (int64_t e = 0; e < 4; ++e) {
+            const float qv = q[p + e];
+            l0[e] += qv * b0[p + e];
+            l1[e] += qv * b1[p + e];
+            l2[e] += qv * b2[p + e];
+            l3[e] += qv * b3[p + e];
+        }
+    }
+    for (; p < k; ++p) {
+        const float qv = q[p];
+        l0[0] += qv * b0[p];
+        l1[0] += qv * b1[p];
+        l2[0] += qv * b2[p];
+        l3[0] += qv * b3[p];
+    }
+    out[0] = ((l0[0] + l0[1]) + (l0[2] + l0[3])) * scale;
+    out[1] = ((l1[0] + l1[1]) + (l1[2] + l1[3])) * scale;
+    out[2] = ((l2[0] + l2[1]) + (l2[2] + l2[3])) * scale;
+    out[3] = ((l3[0] + l3[1]) + (l3[2] + l3[3])) * scale;
+}
+
+/** Single-row remainder of dot4 (same lane split as `dot`). */
+FOCUS_KERNEL_CLONES float
+dot1(const float *FOCUS_RESTRICT q, const float *FOCUS_RESTRICT b,
+     int64_t k)
+{
+    float l[4] = {};
+    int64_t p = 0;
+    for (; p + 4 <= k; p += 4) {
+        for (int64_t e = 0; e < 4; ++e) {
+            l[e] += q[p + e] * b[p + e];
+        }
+    }
+    for (; p < k; ++p) {
+        l[0] += q[p] * b[p];
+    }
+    return (l[0] + l[1]) + (l[2] + l[3]);
+}
+
+} // namespace
+
+// -----------------------------------------------------------------
+// Public backend controls
+// -----------------------------------------------------------------
+
+const char *
+backendName(GemmBackend b)
+{
+    switch (b) {
+      case GemmBackend::Portable:
+        return "portable";
+      case GemmBackend::Naive:
+        return "naive";
+      case GemmBackend::Blas:
+        return "blas";
+    }
+    return "?";
+}
+
+bool
+blasAvailable()
+{
+#ifdef FOCUS_WITH_BLAS
+    return true;
+#else
+    return false;
+#endif
+}
+
+bool
+parseBackend(const char *name, GemmBackend &out)
+{
+    const std::string s(name != nullptr ? name : "");
+    if (s == "portable") {
+        out = GemmBackend::Portable;
+        return true;
+    }
+    if (s == "naive") {
+        out = GemmBackend::Naive;
+        return true;
+    }
+    if (s == "blas") {
+        out = GemmBackend::Blas;
+        return true;
+    }
+    return false;
+}
+
+GemmBackend
+activeBackend()
+{
+    return g_backend.load(std::memory_order_relaxed);
+}
+
+void
+setBackend(GemmBackend b)
+{
+    if (b == GemmBackend::Blas && !blasAvailable()) {
+        panic("setBackend: blas backend requested but this binary was "
+              "built without FOCUS_WITH_BLAS");
+    }
+    g_backend.store(b, std::memory_order_relaxed);
+}
+
+// -----------------------------------------------------------------
+// Portable blocked GEMM
+// -----------------------------------------------------------------
+
+void
+gemmF32(int64_t m, int64_t n, int64_t k, const float *a, int64_t lda,
+        const float *b, int64_t ldb, float *c, int64_t ldc,
+        bool fp16_inputs, const int64_t *a_rows, bool accumulate)
+{
+    if (m <= 0 || n <= 0) {
+        return;
+    }
+    if (k <= 0) {
+        // Empty reduction: a plain product is all-zero, an
+        // accumulation is a no-op.
+        if (!accumulate) {
+            for (int64_t i = 0; i < m; ++i) {
+                std::fill(c + i * ldc, c + i * ldc + n, 0.0f);
+            }
+        }
+        return;
+    }
+    static thread_local std::vector<float> bpack_tls;
+    const int64_t panels = (n + kNr - 1) / kNr;
+    bpack_tls.resize(static_cast<size_t>(panels * kNr * k));
+    float *bpack = bpack_tls.data();
+    packB(b, ldb, k, n, fp16_inputs, bpack);
+
+    const int64_t mblocks = (m + kMc - 1) / kMc;
+    auto run_block = [&](int64_t bi) {
+        const int64_t i0 = bi * kMc;
+        const int64_t mb = std::min(kMc, m - i0);
+        gemmBlock(i0, mb, n, k, a, lda, a_rows, bpack, c, ldc,
+                  fp16_inputs, accumulate);
+    };
+
+    // Fan M blocks across the pool when the product is big enough to
+    // amortize the dispatch.  Each block writes a disjoint C row
+    // range, so results are bit-identical at every thread count; a
+    // call from inside a pool task (e.g. under runFunctional's
+    // per-sample fan-out) executes inline on that worker.
+    constexpr int64_t kParallelFlopCut = 1 << 21;
+    ThreadPool &pool = ThreadPool::global();
+    if (mblocks > 1 && pool.threads() > 1 &&
+        m * n * k >= kParallelFlopCut) {
+        pool.parallelFor(mblocks, run_block);
+    } else {
+        for (int64_t bi = 0; bi < mblocks; ++bi) {
+            run_block(bi);
+        }
+    }
+}
+
+void
+gemmTransBF32(int64_t m, int64_t n, int64_t k, const float *a,
+              int64_t lda, const float *b, int64_t ldb, float *c,
+              int64_t ldc)
+{
+    if (m <= 0 || n <= 0) {
+        return;
+    }
+    // Tile B rows so a j-tile stays cache-resident across the i loop.
+    constexpr int64_t kJTile = 64;
+    for (int64_t j0 = 0; j0 < n; j0 += kJTile) {
+        const int64_t jt = std::min(kJTile, n - j0);
+        for (int64_t i = 0; i < m; ++i) {
+            dotRowsScaled(a + i * lda, b + j0 * ldb, ldb, jt, k, 1.0f,
+                          c + i * ldc + j0);
+        }
+    }
+}
+
+void
+dotRowsScaled(const float *q, const float *b, int64_t ldb, int64_t rows,
+              int64_t k, float scale, float *out)
+{
+    int64_t j = 0;
+    for (; j + 4 <= rows; j += 4) {
+        const float *base = b + j * ldb;
+        dot4(q, base, base + ldb, base + 2 * ldb, base + 3 * ldb, k,
+             scale, out + j);
+    }
+    for (; j < rows; ++j) {
+        out[j] = dot1(q, b + j * ldb, k) * scale;
+    }
+}
+
+// -----------------------------------------------------------------
+// INT8 kernel
+// -----------------------------------------------------------------
+
+FOCUS_KERNEL_CLONES void
+gemmInt8S32(int64_t m, int64_t n, int64_t k, const int8_t *a,
+            const float *a_scales, const int8_t *bt,
+            const float *b_scales, float *c, int64_t ldc)
+{
+    for (int64_t i = 0; i < m; ++i) {
+        const int8_t *FOCUS_RESTRICT arow = a + i * k;
+        const float ascale = a_scales[i];
+        float *crow = c + i * ldc;
+        int64_t j = 0;
+        for (; j + 4 <= n; j += 4) {
+            const int8_t *FOCUS_RESTRICT b0 = bt + j * k;
+            const int8_t *FOCUS_RESTRICT b1 = b0 + k;
+            const int8_t *FOCUS_RESTRICT b2 = b1 + k;
+            const int8_t *FOCUS_RESTRICT b3 = b2 + k;
+            int32_t acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+            for (int64_t p = 0; p < k; ++p) {
+                const int32_t av = arow[p];
+                acc0 += av * b0[p];
+                acc1 += av * b1[p];
+                acc2 += av * b2[p];
+                acc3 += av * b3[p];
+            }
+            crow[j] = static_cast<float>(acc0) * ascale * b_scales[j];
+            crow[j + 1] =
+                static_cast<float>(acc1) * ascale * b_scales[j + 1];
+            crow[j + 2] =
+                static_cast<float>(acc2) * ascale * b_scales[j + 2];
+            crow[j + 3] =
+                static_cast<float>(acc3) * ascale * b_scales[j + 3];
+        }
+        for (; j < n; ++j) {
+            const int8_t *FOCUS_RESTRICT brow = bt + j * k;
+            int32_t acc = 0;
+            for (int64_t p = 0; p < k; ++p) {
+                acc += static_cast<int32_t>(arow[p]) * brow[p];
+            }
+            crow[j] = static_cast<float>(acc) * ascale * b_scales[j];
+        }
+    }
+}
+
+// -----------------------------------------------------------------
+// Naive references (pre-kernel-layer implementations, verbatim)
+// -----------------------------------------------------------------
+
+FOCUS_KERNEL_CLONES void
+gemmNaiveF32(int64_t m, int64_t n, int64_t k, const float *a,
+             int64_t lda, const float *b, int64_t ldb, float *c,
+             int64_t ldc, bool fp16_inputs)
+{
+    // ikj loop order: streams B rows, decent cache behaviour without
+    // blocking machinery.
+    for (int64_t i = 0; i < m; ++i) {
+        const float *arow = a + i * lda;
+        float *crow = c + i * ldc;
+        for (int64_t kk = 0; kk < k; ++kk) {
+            float av = arow[kk];
+            if (fp16_inputs) {
+                av = fp16Round(av);
+            }
+            if (av == 0.0f) {
+                continue;
+            }
+            const float *brow = b + kk * ldb;
+            if (fp16_inputs) {
+                for (int64_t j = 0; j < n; ++j) {
+                    crow[j] += av * fp16Round(brow[j]);
+                }
+            } else {
+                for (int64_t j = 0; j < n; ++j) {
+                    crow[j] += av * brow[j];
+                }
+            }
+        }
+    }
+}
+
+void
+gemmTransBNaiveF32(int64_t m, int64_t n, int64_t k, const float *a,
+                   int64_t lda, const float *b, int64_t ldb, float *c,
+                   int64_t ldc)
+{
+    // Unblocked row sweep over the same dot primitives the blocked
+    // path uses, so the two differ only in j-tile traversal: the
+    // per-element call sequence is identical and results are
+    // bit-identical by construction on every compiler.  (Sharing the
+    // primitive is deliberate — compilers are free to contract
+    // mul+add differently in differently-shaped functions, so two
+    // structurally different dot loops are NOT guaranteed to agree
+    // bitwise; see docs/KERNELS.md.)
+    for (int64_t i = 0; i < m; ++i) {
+        dotRowsScaled(a + i * lda, b, ldb, n, k, 1.0f, c + i * ldc);
+    }
+}
+
+// -----------------------------------------------------------------
+// BLAS backend
+// -----------------------------------------------------------------
+
+#ifdef FOCUS_WITH_BLAS
+
+extern "C" {
+void sgemm_(const char *transa, const char *transb, const int *m,
+            const int *n, const int *k, const float *alpha,
+            const float *a, const int *lda, const float *b,
+            const int *ldb, const float *beta, float *c,
+            const int *ldc);
+}
+
+namespace
+{
+
+int
+blasInt(int64_t v, const char *what)
+{
+    if (v > INT32_MAX) {
+        panic("gemmBlas: %s=%" PRId64 " exceeds BLAS int range", what,
+              v);
+    }
+    return static_cast<int>(v);
+}
+
+} // namespace
+
+void
+gemmBlasF32(int64_t m, int64_t n, int64_t k, const float *a,
+            int64_t lda, const float *b, int64_t ldb, float *c,
+            int64_t ldc, bool fp16_inputs)
+{
+    if (m <= 0 || n <= 0) {
+        return;
+    }
+    if (k <= 0) {
+        for (int64_t i = 0; i < m; ++i) {
+            std::fill(c + i * ldc, c + i * ldc + n, 0.0f);
+        }
+        return;
+    }
+    std::vector<float> ar, br;
+    if (fp16_inputs) {
+        ar.resize(static_cast<size_t>(m * k));
+        br.resize(static_cast<size_t>(k * n));
+        for (int64_t i = 0; i < m; ++i) {
+            for (int64_t p = 0; p < k; ++p) {
+                ar[static_cast<size_t>(i * k + p)] =
+                    fp16Round(a[i * lda + p]);
+            }
+        }
+        for (int64_t p = 0; p < k; ++p) {
+            for (int64_t j = 0; j < n; ++j) {
+                br[static_cast<size_t>(p * n + j)] =
+                    fp16Round(b[p * ldb + j]);
+            }
+        }
+        a = ar.data();
+        lda = k;
+        b = br.data();
+        ldb = n;
+    }
+    // Row-major C = A*B  <=>  col-major C^T = B^T * A^T, where the
+    // row-major buffers reinterpret as the transposed col-major
+    // matrices directly.
+    const int mm = blasInt(n, "n");
+    const int nn = blasInt(m, "m");
+    const int kk = blasInt(k, "k");
+    const int ld_b = blasInt(ldb, "ldb");
+    const int ld_a = blasInt(lda, "lda");
+    const int ld_c = blasInt(ldc, "ldc");
+    const float one = 1.0f, zero = 0.0f;
+    sgemm_("N", "N", &mm, &nn, &kk, &one, b, &ld_b, a, &ld_a, &zero, c,
+           &ld_c);
+}
+
+void
+gemmTransBBlasF32(int64_t m, int64_t n, int64_t k, const float *a,
+                  int64_t lda, const float *b, int64_t ldb, float *c,
+                  int64_t ldc)
+{
+    if (m <= 0 || n <= 0) {
+        return;
+    }
+    if (k <= 0) {
+        for (int64_t i = 0; i < m; ++i) {
+            std::fill(c + i * ldc, c + i * ldc + n, 0.0f);
+        }
+        return;
+    }
+    // Row-major C = A*B^T  <=>  col-major C^T = B * A^T; the
+    // row-major (n x k) B buffer is col-major (k x n), so pass it
+    // transposed.
+    const int mm = blasInt(n, "n");
+    const int nn = blasInt(m, "m");
+    const int kk = blasInt(k, "k");
+    const int ld_b = blasInt(ldb, "ldb");
+    const int ld_a = blasInt(lda, "lda");
+    const int ld_c = blasInt(ldc, "ldc");
+    const float one = 1.0f, zero = 0.0f;
+    sgemm_("T", "N", &mm, &nn, &kk, &one, b, &ld_b, a, &ld_a, &zero, c,
+           &ld_c);
+}
+
+#else // !FOCUS_WITH_BLAS
+
+void
+gemmBlasF32(int64_t, int64_t, int64_t, const float *, int64_t,
+            const float *, int64_t, float *, int64_t, bool)
+{
+    panic("gemmBlasF32: built without FOCUS_WITH_BLAS");
+}
+
+void
+gemmTransBBlasF32(int64_t, int64_t, int64_t, const float *, int64_t,
+                  const float *, int64_t, float *, int64_t)
+{
+    panic("gemmTransBBlasF32: built without FOCUS_WITH_BLAS");
+}
+
+#endif // FOCUS_WITH_BLAS
+
+} // namespace kernels
+} // namespace focus

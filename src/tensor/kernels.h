@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Blocked GEMM kernel layer: cache-blocked, register-tiled portable
+ * microkernels behind a runtime backend dispatch.
+ *
+ * This is the compute substrate under `tensor/ops.h` (`gemm`,
+ * `gemmTransB`), `tensor/quant.h` (`gemmInt8`) and the attention inner
+ * loops of `vlm/model.cc`.  Three backends exist:
+ *
+ *  - **Portable** (default): B-panel packing + 4xNR register-tiled
+ *    microkernel, M-blocks fanned across the `runtime/thread_pool.h`
+ *    pool.  Bit-identical to the naive reference — per output element
+ *    the accumulation order is exactly the reference order (ascending
+ *    k with a single accumulator for `gemm`, the 4-way-split `dot`
+ *    order for `gemmTransB`), at every thread count.
+ *  - **Naive**: the pre-kernel-layer triple loops, kept as the
+ *    exactness reference and for A/B benchmarking.
+ *  - **Blas**: system `sgemm_` behind the `FOCUS_WITH_BLAS` CMake
+ *    option.  NOT bit-exact (BLAS reorders the k-reduction); expected
+ *    agreement is ~1e-5 relative for the shapes used here (see
+ *    docs/KERNELS.md).
+ *
+ * Backend selection: `FOCUS_GEMM_BACKEND` environment variable
+ * (`portable` | `naive` | `blas`) or `setBackend()`.  The interior
+ * attention kernels (`dotRowsScaled`, the P*V product) always run
+ * portable — they are part of the deterministic functional model and
+ * have no BLAS equivalent with the required accumulation order.
+ */
+
+#ifndef FOCUS_TENSOR_KERNELS_H
+#define FOCUS_TENSOR_KERNELS_H
+
+#include <cstdint>
+
+namespace focus
+{
+namespace kernels
+{
+
+/** GEMM backend selected at runtime (see file comment). */
+enum class GemmBackend
+{
+    Portable, ///< blocked/tiled, bit-exact vs naive, pool-parallel
+    Naive,    ///< reference triple loops (pre-kernel-layer code)
+    Blas      ///< system sgemm, only if built with FOCUS_WITH_BLAS
+};
+
+/** Name for logging / bench banners. */
+const char *backendName(GemmBackend b);
+
+/** True when the binary was built with FOCUS_WITH_BLAS. */
+bool blasAvailable();
+
+/**
+ * Parse a backend name ("portable", "naive", "blas"); returns false
+ * on an unknown name.
+ */
+bool parseBackend(const char *name, GemmBackend &out);
+
+/**
+ * Currently active backend.  Initialized once from the
+ * FOCUS_GEMM_BACKEND environment variable (default Portable; panics
+ * if "blas" is requested but unavailable).
+ */
+GemmBackend activeBackend();
+
+/** Override the active backend (panics on Blas when unavailable). */
+void setBackend(GemmBackend b);
+
+// ---------------------------------------------------------------
+// Blocking geometry (exposed for tests and docs/KERNELS.md).
+// ---------------------------------------------------------------
+inline constexpr int64_t kMr = 4;   ///< microkernel rows (A panel)
+inline constexpr int64_t kNr = 8;   ///< microkernel cols (B panel)
+inline constexpr int64_t kMc = 64;  ///< rows per M block = parallel grain
+inline constexpr int64_t kKc = 256; ///< depth per packed K block
+
+/**
+ * C = A * B (or C += A * B with @p accumulate) on raw row-major
+ * buffers — the portable blocked path.
+ *
+ * A is (m x k) with row stride @p lda, B is (k x n) with row stride
+ * @p ldb, C is (m x n) with row stride @p ldc.  With @p accumulate
+ * false (the default) C's prior contents are ignored: the first K
+ * block starts its accumulators at zero, so callers need not zero C.
+ * When @p fp16_inputs is set, both operands are rounded through
+ * binary16 while being packed, so the microkernel hot loop stays
+ * branch-free.  @p a_rows, when non-null, is an m-entry gather map:
+ * logical A row i reads from a + a_rows[i]*lda (used for the
+ * post-prune P*V product).
+ *
+ * Per output element the accumulation order is ascending k with a
+ * single accumulator — bit-identical to `gemmNaiveF32` on finite
+ * inputs at every thread count.
+ */
+void gemmF32(int64_t m, int64_t n, int64_t k, const float *a,
+             int64_t lda, const float *b, int64_t ldb, float *c,
+             int64_t ldc, bool fp16_inputs = false,
+             const int64_t *a_rows = nullptr, bool accumulate = false);
+
+/**
+ * C = A * B^T (B stored n x k row-major), blocked, preserving the
+ * 4-way-split lane order of ops.h `dot` per element — bit-identical
+ * to `gemmTransBNaiveF32` (both share the same per-element dot
+ * kernel, so contraction choices can never diverge).
+ */
+void gemmTransBF32(int64_t m, int64_t n, int64_t k, const float *a,
+                   int64_t lda, const float *b, int64_t ldb, float *c,
+                   int64_t ldc);
+
+/**
+ * out[j] = dot(q, b + j*ldb, k) * scale for j in [0, rows) — the
+ * attention-score row kernel (Q_i . K_j over one head slice), using
+ * the same 4-way-lane dot as `gemmTransBNaiveF32`.
+ */
+void dotRowsScaled(const float *q, const float *b, int64_t ldb,
+                   int64_t rows, int64_t k, float scale, float *out);
+
+/**
+ * INT8 GEMM with per-row / per-output-channel scales:
+ * C[i][j] = (sum_k a[i][k]*bt[j][k]) * a_scales[i] * b_scales[j].
+ * A is (m x k) int8 row-major, BT is (n x k) int8 row-major (i.e. B
+ * transposed).  Integer accumulation is exact, so blocking cannot
+ * change results.
+ */
+void gemmInt8S32(int64_t m, int64_t n, int64_t k, const int8_t *a,
+                 const float *a_scales, const int8_t *bt,
+                 const float *b_scales, float *c, int64_t ldc);
+
+// ---------------------------------------------------------------
+// Reference kernels (the pre-kernel-layer implementations), kept as
+// the exactness baseline for tests and the Naive backend.
+// ---------------------------------------------------------------
+
+/** C = A * B, naive ikj loop (zero-skip on A elements). */
+void gemmNaiveF32(int64_t m, int64_t n, int64_t k, const float *a,
+                  int64_t lda, const float *b, int64_t ldb, float *c,
+                  int64_t ldc, bool fp16_inputs = false);
+
+/**
+ * C = A * B^T, unblocked row sweep.  Shares the blocked path's dot
+ * primitives, so it is bit-identical to `gemmTransBF32` by
+ * construction; kept as the A/B baseline for the j-tiling.
+ */
+void gemmTransBNaiveF32(int64_t m, int64_t n, int64_t k,
+                        const float *a, int64_t lda, const float *b,
+                        int64_t ldb, float *c, int64_t ldc);
+
+// ---------------------------------------------------------------
+// BLAS backend entry points.  Callable only when blasAvailable();
+// they panic otherwise.  Not bit-exact vs the portable path.
+// ---------------------------------------------------------------
+
+/** C = A * B via sgemm_ (fp16_inputs rounds operand copies first). */
+void gemmBlasF32(int64_t m, int64_t n, int64_t k, const float *a,
+                 int64_t lda, const float *b, int64_t ldb, float *c,
+                 int64_t ldc, bool fp16_inputs = false);
+
+/** C = A * B^T via sgemm_. */
+void gemmTransBBlasF32(int64_t m, int64_t n, int64_t k, const float *a,
+                       int64_t lda, const float *b, int64_t ldb,
+                       float *c, int64_t ldc);
+
+} // namespace kernels
+} // namespace focus
+
+#endif // FOCUS_TENSOR_KERNELS_H

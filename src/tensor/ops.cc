@@ -4,8 +4,8 @@
 #include <cinttypes>
 #include <cmath>
 
-#include "common/half.h"
 #include "common/logging.h"
+#include "tensor/kernels.h"
 
 namespace focus
 {
@@ -25,34 +25,23 @@ gemm(const Tensor &a, const Tensor &b, Tensor &c, bool fp16_inputs)
     }
     if (c.rank() != 2 || c.rows() != m || c.cols() != n) {
         c = Tensor(m, n);
-    } else {
-        c.fill(0.0f);
     }
-
-    // ikj loop order: streams B rows, decent cache behaviour without
-    // blocking machinery.
-    for (int64_t i = 0; i < m; ++i) {
-        const float *arow = a.row(i);
-        float *crow = c.row(i);
-        for (int64_t kk = 0; kk < k; ++kk) {
-            float av = arow[kk];
-            if (fp16_inputs) {
-                av = fp16Round(av);
-            }
-            if (av == 0.0f) {
-                continue;
-            }
-            const float *brow = b.row(kk);
-            if (fp16_inputs) {
-                for (int64_t j = 0; j < n; ++j) {
-                    crow[j] += av * fp16Round(brow[j]);
-                }
-            } else {
-                for (int64_t j = 0; j < n; ++j) {
-                    crow[j] += av * brow[j];
-                }
-            }
-        }
+    switch (kernels::activeBackend()) {
+      case kernels::GemmBackend::Naive:
+        // The reference kernel accumulates into C and needs it zeroed;
+        // the portable and BLAS paths overwrite.
+        c.fill(0.0f);
+        kernels::gemmNaiveF32(m, n, k, a.data(), k, b.data(), n,
+                              c.data(), n, fp16_inputs);
+        break;
+      case kernels::GemmBackend::Blas:
+        kernels::gemmBlasF32(m, n, k, a.data(), k, b.data(), n,
+                             c.data(), n, fp16_inputs);
+        break;
+      case kernels::GemmBackend::Portable:
+        kernels::gemmF32(m, n, k, a.data(), k, b.data(), n, c.data(),
+                         n, fp16_inputs);
+        break;
     }
 }
 
@@ -73,12 +62,19 @@ gemmTransB(const Tensor &a, const Tensor &b, Tensor &c)
     if (c.rank() != 2 || c.rows() != m || c.cols() != n) {
         c = Tensor(m, n);
     }
-    for (int64_t i = 0; i < m; ++i) {
-        const float *arow = a.row(i);
-        float *crow = c.row(i);
-        for (int64_t j = 0; j < n; ++j) {
-            crow[j] = dot(arow, b.row(j), k);
-        }
+    switch (kernels::activeBackend()) {
+      case kernels::GemmBackend::Naive:
+        kernels::gemmTransBNaiveF32(m, n, k, a.data(), k, b.data(), k,
+                                    c.data(), n);
+        break;
+      case kernels::GemmBackend::Blas:
+        kernels::gemmTransBBlasF32(m, n, k, a.data(), k, b.data(), k,
+                                   c.data(), n);
+        break;
+      case kernels::GemmBackend::Portable:
+        kernels::gemmTransBF32(m, n, k, a.data(), k, b.data(), k,
+                               c.data(), n);
+        break;
     }
 }
 

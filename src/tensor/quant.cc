@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "tensor/kernels.h"
 
 namespace focus
 {
@@ -83,21 +84,11 @@ gemmInt8(const Tensor &a, const Tensor &b, Tensor &c)
     if (c.rank() != 2 || c.rows() != m || c.cols() != n) {
         c = Tensor(m, n);
     }
-    for (int64_t i = 0; i < m; ++i) {
-        const int8_t *arow = qa.row(i);
-        const float ascale = qa.scales[static_cast<size_t>(i)];
-        float *crow = c.row(i);
-        for (int64_t j = 0; j < n; ++j) {
-            const int8_t *brow = qb.row(j);
-            int32_t acc = 0;
-            for (int64_t kk = 0; kk < k; ++kk) {
-                acc += static_cast<int32_t>(arow[kk]) *
-                    static_cast<int32_t>(brow[kk]);
-            }
-            crow[j] = static_cast<float>(acc) * ascale *
-                qb.scales[static_cast<size_t>(j)];
-        }
-    }
+    // Integer accumulation is exact, so the blocked kernel is free to
+    // reorder; results are identical to the reference triple loop.
+    kernels::gemmInt8S32(m, n, k, qa.data.data(), qa.scales.data(),
+                         qb.data.data(), qb.scales.data(), c.data(),
+                         n);
 }
 
 } // namespace focus

@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "focus/sec.h"
 #include "focus/sic.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "tensor/quant.h"
 
@@ -150,9 +151,8 @@ VlmModel::attention(const Tensor &xn, const LayerWeights &w,
         for (int64_t i = 0; i < rows; ++i) {
             const float *qi = q.row(i) + c0;
             float *prow = p.row(i);
-            for (int64_t j = 0; j <= i; ++j) {
-                prow[j] = dot(qi, k.row(j) + c0, hd) * inv_sqrt;
-            }
+            kernels::dotRowsScaled(qi, k.row(0) + c0, k.cols(), i + 1,
+                                   hd, inv_sqrt, prow);
             // Causal mask: stream order is [visual ; text], so text
             // queries see every visual key.
             for (int64_t j = i + 1; j < rows; ++j) {
@@ -366,23 +366,25 @@ VlmModel::forward(const VideoSample &sample, const MethodConfig &method,
             }
             return s_cur + (r - s_next);
         };
+        // Each head is one blocked GEMM over its column slice; when
+        // pruned, the row gather map selects surviving P rows without
+        // materializing a compacted copy.
+        std::vector<int64_t> pv_rows;
+        const int64_t *pv_map = nullptr;
+        if (pruned) {
+            pv_rows.resize(static_cast<size_t>(rows_after));
+            for (int64_t r = 0; r < rows_after; ++r) {
+                pv_rows[static_cast<size_t>(r)] = out_row_src(r);
+            }
+            pv_map = pv_rows.data();
+        }
         for (int h = 0; h < prof_.heads; ++h) {
             const Tensor &p = head_probs[static_cast<size_t>(h)];
             const int64_t c0 = static_cast<int64_t>(h) * hd;
-            for (int64_t r = 0; r < rows_after; ++r) {
-                const float *prow = p.row(out_row_src(r));
-                float *orow = attn_out.row(r) + c0;
-                for (int64_t j = 0; j < rows; ++j) {
-                    const float pj = prow[j];
-                    if (pj == 0.0f) {
-                        continue;
-                    }
-                    const float *vr = v.row(j) + c0;
-                    for (int64_t e = 0; e < hd; ++e) {
-                        orow[e] += pj * vr[e];
-                    }
-                }
-            }
+            kernels::gemmF32(rows_after, hd, rows, p.data(), p.cols(),
+                             v.data() + c0, v.cols(),
+                             attn_out.data() + c0, attn_out.cols(),
+                             /*fp16_inputs=*/false, pv_map);
         }
         res.ops += static_cast<double>(rows_after) * rows * d; // PV
 
@@ -505,10 +507,11 @@ VlmModel::forward(const VideoSample &sample, const MethodConfig &method,
         std::vector<float> logits(static_cast<size_t>(s_cur));
         for (int h = 0; h < prof_.heads; ++h) {
             const int64_t c0 = static_cast<int64_t>(h) * hd;
+            kernels::dotRowsScaled(qv.row(0) + c0, kv.row(0) + c0,
+                                   kv.cols(), s_cur, hd, inv_sqrt,
+                                   logits.data());
             float mx = -1e30f;
             for (int64_t j = 0; j < s_cur; ++j) {
-                logits[static_cast<size_t>(j)] =
-                    dot(qv.row(0) + c0, kv.row(j) + c0, hd) * inv_sqrt;
                 mx = std::max(mx, logits[static_cast<size_t>(j)]);
             }
             float sum = 0.0f;

@@ -1,0 +1,428 @@
+/**
+ * @file
+ * Blocked GEMM kernel layer (tensor/kernels.h): bit-exactness of the
+ * blocked portable kernels against the naive references across
+ * odd/prime/degenerate shapes, fp16 packing parity, the row gather
+ * map, accumulate mode, backend dispatch, thread-count bit-identity
+ * (raw kernels and through Evaluator::runFunctional), and — when
+ * built with FOCUS_WITH_BLAS — tolerance agreement of the BLAS path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/half.h"
+#include "common/rng.h"
+#include "eval/evaluator.h"
+#include "runtime/thread_pool.h"
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
+#include "tensor/quant.h"
+#include "tensor/tensor.h"
+
+using namespace focus;
+
+namespace
+{
+
+std::vector<float>
+randomBuf(Rng &rng, int64_t n)
+{
+    std::vector<float> v(static_cast<size_t>(n));
+    for (auto &x : v) {
+        x = static_cast<float>(rng.gaussian());
+    }
+    return v;
+}
+
+/** memcmp two float buffers — strict bit-identity. */
+bool
+bitsEqual(const std::vector<float> &a, const std::vector<float> &b)
+{
+    return a.size() == b.size() &&
+        std::memcmp(a.data(), b.data(),
+                    a.size() * sizeof(float)) == 0;
+}
+
+// Shapes chosen to hit every dispatch edge: unit dims, primes off the
+// 4x8 tile grid, exact tile multiples, one-off sizes around the
+// kMc=64 M-block boundary, and k=300 > kKc=256 to exercise the
+// multi-K-block C reload path.
+struct Shape
+{
+    int64_t m, n, k;
+};
+
+const Shape kShapes[] = {
+    {1, 1, 1},    {1, 16, 3},    {5, 1, 7},       {7, 9, 5},
+    {13, 17, 11}, {31, 29, 37},  {64, 64, 64},    {65, 63, 66},
+    {100, 37, 53}, {127, 129, 64}, {40, 24, 300},
+};
+
+} // namespace
+
+TEST(KernelsGemm, BlockedBitIdenticalToNaive)
+{
+    Rng rng(11);
+    for (const Shape &s : kShapes) {
+        const std::vector<float> a = randomBuf(rng, s.m * s.k);
+        const std::vector<float> b = randomBuf(rng, s.k * s.n);
+        std::vector<float> c_blocked(static_cast<size_t>(s.m * s.n),
+                                     -1.0f); // garbage: must be ignored
+        std::vector<float> c_naive(static_cast<size_t>(s.m * s.n),
+                                   0.0f);
+        kernels::gemmF32(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n,
+                         c_blocked.data(), s.n);
+        kernels::gemmNaiveF32(s.m, s.n, s.k, a.data(), s.k, b.data(),
+                              s.n, c_naive.data(), s.n);
+        EXPECT_TRUE(bitsEqual(c_blocked, c_naive))
+            << "shape " << s.m << "x" << s.n << "x" << s.k;
+    }
+}
+
+TEST(KernelsGemm, KZeroYieldsZeroOutput)
+{
+    std::vector<float> a, b;
+    std::vector<float> c(15, 123.0f);
+    kernels::gemmF32(3, 5, 0, a.data(), 0, b.data(), 5, c.data(), 5);
+    for (float v : c) {
+        EXPECT_EQ(v, 0.0f);
+    }
+}
+
+TEST(KernelsGemm, Fp16PackingMatchesNaiveFp16)
+{
+    Rng rng(12);
+    for (const Shape &s : kShapes) {
+        const std::vector<float> a = randomBuf(rng, s.m * s.k);
+        const std::vector<float> b = randomBuf(rng, s.k * s.n);
+        std::vector<float> c_blocked(static_cast<size_t>(s.m * s.n));
+        std::vector<float> c_naive(static_cast<size_t>(s.m * s.n),
+                                   0.0f);
+        kernels::gemmF32(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n,
+                         c_blocked.data(), s.n, /*fp16_inputs=*/true);
+        kernels::gemmNaiveF32(s.m, s.n, s.k, a.data(), s.k, b.data(),
+                              s.n, c_naive.data(), s.n,
+                              /*fp16_inputs=*/true);
+        EXPECT_TRUE(bitsEqual(c_blocked, c_naive))
+            << "fp16 shape " << s.m << "x" << s.n << "x" << s.k;
+    }
+}
+
+TEST(KernelsGemm, Fp16RoundsEachOperandOnce)
+{
+    // The packed-rounding path must equal rounding both operands
+    // up front and running the plain-fp32 kernel.
+    Rng rng(13);
+    const int64_t m = 9, n = 21, k = 33;
+    std::vector<float> a = randomBuf(rng, m * k);
+    std::vector<float> b = randomBuf(rng, k * n);
+    std::vector<float> c_fp16(static_cast<size_t>(m * n));
+    kernels::gemmF32(m, n, k, a.data(), k, b.data(), n, c_fp16.data(),
+                     n, /*fp16_inputs=*/true);
+    for (auto &v : a) {
+        v = fp16Round(v);
+    }
+    for (auto &v : b) {
+        v = fp16Round(v);
+    }
+    std::vector<float> c_ref(static_cast<size_t>(m * n));
+    kernels::gemmF32(m, n, k, a.data(), k, b.data(), n, c_ref.data(),
+                     n);
+    EXPECT_TRUE(bitsEqual(c_fp16, c_ref));
+}
+
+TEST(KernelsGemm, RowGatherMapMatchesMaterializedGather)
+{
+    Rng rng(14);
+    const int64_t src_rows = 12, m = 7, n = 19, k = 23;
+    const std::vector<float> a = randomBuf(rng, src_rows * k);
+    const std::vector<float> b = randomBuf(rng, k * n);
+    const int64_t map[] = {3, 0, 11, 5, 5, 9, 1};
+
+    std::vector<float> c_map(static_cast<size_t>(m * n));
+    kernels::gemmF32(m, n, k, a.data(), k, b.data(), n, c_map.data(),
+                     n, false, map);
+
+    std::vector<float> gathered(static_cast<size_t>(m * k));
+    for (int64_t i = 0; i < m; ++i) {
+        std::memcpy(&gathered[static_cast<size_t>(i * k)],
+                    &a[static_cast<size_t>(map[i] * k)],
+                    static_cast<size_t>(k) * sizeof(float));
+    }
+    std::vector<float> c_ref(static_cast<size_t>(m * n));
+    kernels::gemmF32(m, n, k, gathered.data(), k, b.data(), n,
+                     c_ref.data(), n);
+    EXPECT_TRUE(bitsEqual(c_map, c_ref));
+}
+
+TEST(KernelsGemm, AccumulateAddsOntoExistingC)
+{
+    Rng rng(15);
+    const int64_t m = 33, n = 41, k = 29;
+    const std::vector<float> a = randomBuf(rng, m * k);
+    const std::vector<float> b = randomBuf(rng, k * n);
+    const std::vector<float> seed_c = randomBuf(rng, m * n);
+
+    std::vector<float> c_acc = seed_c;
+    kernels::gemmF32(m, n, k, a.data(), k, b.data(), n, c_acc.data(),
+                     n, false, nullptr, /*accumulate=*/true);
+
+    // Naive reference accumulates into whatever C holds.
+    std::vector<float> c_ref = seed_c;
+    kernels::gemmNaiveF32(m, n, k, a.data(), k, b.data(), n,
+                          c_ref.data(), n);
+    EXPECT_TRUE(bitsEqual(c_acc, c_ref));
+}
+
+TEST(KernelsGemm, ThreadCountBitIdentity)
+{
+    // Large enough to cross the parallel-dispatch threshold with
+    // several M blocks.
+    Rng rng(16);
+    const int64_t m = 300, n = 96, k = 128;
+    const std::vector<float> a = randomBuf(rng, m * k);
+    const std::vector<float> b = randomBuf(rng, k * n);
+    std::vector<float> c1(static_cast<size_t>(m * n));
+    std::vector<float> c4(static_cast<size_t>(m * n));
+
+    ThreadPool::setGlobalThreads(1);
+    kernels::gemmF32(m, n, k, a.data(), k, b.data(), n, c1.data(), n);
+    ThreadPool::setGlobalThreads(4);
+    kernels::gemmF32(m, n, k, a.data(), k, b.data(), n, c4.data(), n);
+    ThreadPool::setGlobalThreads(0); // back to default sizing
+
+    EXPECT_TRUE(bitsEqual(c1, c4));
+
+    std::vector<float> c_naive(static_cast<size_t>(m * n), 0.0f);
+    kernels::gemmNaiveF32(m, n, k, a.data(), k, b.data(), n,
+                          c_naive.data(), n);
+    EXPECT_TRUE(bitsEqual(c4, c_naive));
+}
+
+TEST(KernelsTransB, BlockedBitIdenticalToNaive)
+{
+    Rng rng(17);
+    for (const Shape &s : kShapes) {
+        const std::vector<float> a = randomBuf(rng, s.m * s.k);
+        const std::vector<float> b = randomBuf(rng, s.n * s.k);
+        std::vector<float> c_blocked(static_cast<size_t>(s.m * s.n));
+        std::vector<float> c_naive(static_cast<size_t>(s.m * s.n));
+        kernels::gemmTransBF32(s.m, s.n, s.k, a.data(), s.k, b.data(),
+                               s.k, c_blocked.data(), s.n);
+        kernels::gemmTransBNaiveF32(s.m, s.n, s.k, a.data(), s.k,
+                                    b.data(), s.k, c_naive.data(),
+                                    s.n);
+        EXPECT_TRUE(bitsEqual(c_blocked, c_naive))
+            << "transB shape " << s.m << "x" << s.n << "x" << s.k;
+    }
+}
+
+TEST(KernelsDotRows, MatchesTransBReferenceRow)
+{
+    // dotRowsScaled(q, ...) over j rows == row 0 of the naive
+    // A*B^T reference with A = q, then scaled.
+    Rng rng(18);
+    const int64_t k = 37;
+    for (int64_t rows : {1, 2, 3, 4, 5, 8, 13}) {
+        const std::vector<float> q = randomBuf(rng, k);
+        const std::vector<float> b = randomBuf(rng, rows * k);
+        std::vector<float> out(static_cast<size_t>(rows));
+        kernels::dotRowsScaled(q.data(), b.data(), k, rows, k, 0.25f,
+                               out.data());
+        std::vector<float> ref(static_cast<size_t>(rows));
+        kernels::gemmTransBNaiveF32(1, rows, k, q.data(), k, b.data(),
+                                    k, ref.data(), rows);
+        for (auto &v : ref) {
+            v *= 0.25f;
+        }
+        EXPECT_TRUE(bitsEqual(out, ref)) << "rows=" << rows;
+    }
+}
+
+TEST(KernelsDotRows, TracksOpsDotWithinTolerance)
+{
+    // ops.h dot is compiled without the kernel clones, so its
+    // contraction can differ from dot4's; anchor the kernel's values
+    // to it within float tolerance.
+    Rng rng(23);
+    for (int64_t k : {1, 3, 7, 32, 64, 129}) {
+        const std::vector<float> q = randomBuf(rng, k);
+        const std::vector<float> b = randomBuf(rng, 6 * k);
+        std::vector<float> out(6);
+        kernels::dotRowsScaled(q.data(), b.data(), k, 6, k, 1.0f,
+                               out.data());
+        for (int64_t j = 0; j < 6; ++j) {
+            const float want = dot(q.data(), b.data() + j * k, k);
+            EXPECT_NEAR(out[static_cast<size_t>(j)], want,
+                        1e-4 *
+                            (1.0 +
+                             std::abs(static_cast<double>(want))))
+                << "k=" << k << " j=" << j;
+        }
+    }
+}
+
+TEST(KernelsInt8, MatchesReferenceTripleLoop)
+{
+    Rng rng(19);
+    const int64_t m = 13, n = 21, k = 31;
+    std::vector<int8_t> a(static_cast<size_t>(m * k));
+    std::vector<int8_t> bt(static_cast<size_t>(n * k));
+    for (auto &v : a) {
+        v = static_cast<int8_t>(
+            static_cast<int64_t>(rng.uniformInt(255)) - 127);
+    }
+    for (auto &v : bt) {
+        v = static_cast<int8_t>(
+            static_cast<int64_t>(rng.uniformInt(255)) - 127);
+    }
+    const std::vector<float> as = randomBuf(rng, m);
+    const std::vector<float> bs = randomBuf(rng, n);
+
+    std::vector<float> c(static_cast<size_t>(m * n));
+    kernels::gemmInt8S32(m, n, k, a.data(), as.data(), bt.data(),
+                         bs.data(), c.data(), n);
+
+    for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+            int32_t acc = 0;
+            for (int64_t p = 0; p < k; ++p) {
+                acc += static_cast<int32_t>(a[static_cast<size_t>(
+                           i * k + p)]) *
+                    static_cast<int32_t>(
+                           bt[static_cast<size_t>(j * k + p)]);
+            }
+            const float want = static_cast<float>(acc) *
+                as[static_cast<size_t>(i)] * bs[static_cast<size_t>(j)];
+            EXPECT_EQ(c[static_cast<size_t>(i * n + j)], want);
+        }
+    }
+}
+
+TEST(KernelsDispatch, TensorGemmHonorsBackendSwitch)
+{
+    Rng rng(20);
+    Tensor a(9, 14), b(14, 11);
+    for (int64_t i = 0; i < a.numel(); ++i) {
+        a.data()[i] = static_cast<float>(rng.gaussian());
+    }
+    for (int64_t i = 0; i < b.numel(); ++i) {
+        b.data()[i] = static_cast<float>(rng.gaussian());
+    }
+    Tensor c_portable, c_naive;
+    const kernels::GemmBackend prev = kernels::activeBackend();
+    kernels::setBackend(kernels::GemmBackend::Portable);
+    gemm(a, b, c_portable);
+    kernels::setBackend(kernels::GemmBackend::Naive);
+    gemm(a, b, c_naive);
+    kernels::setBackend(prev);
+    EXPECT_EQ(maxAbsDiff(c_portable, c_naive), 0.0);
+}
+
+TEST(KernelsDispatch, BackendNamesRoundTrip)
+{
+    kernels::GemmBackend b;
+    EXPECT_TRUE(kernels::parseBackend("portable", b));
+    EXPECT_EQ(b, kernels::GemmBackend::Portable);
+    EXPECT_TRUE(kernels::parseBackend("naive", b));
+    EXPECT_EQ(b, kernels::GemmBackend::Naive);
+    EXPECT_TRUE(kernels::parseBackend("blas", b));
+    EXPECT_EQ(b, kernels::GemmBackend::Blas);
+    EXPECT_FALSE(kernels::parseBackend("mkl", b));
+    EXPECT_FALSE(kernels::parseBackend("", b));
+    EXPECT_STREQ(kernels::backendName(kernels::GemmBackend::Portable),
+                 "portable");
+    EXPECT_STREQ(kernels::backendName(kernels::GemmBackend::Naive),
+                 "naive");
+    EXPECT_STREQ(kernels::backendName(kernels::GemmBackend::Blas),
+                 "blas");
+}
+
+TEST(KernelsBlas, AgreesWithPortableWithinTolerance)
+{
+    if (!kernels::blasAvailable()) {
+        GTEST_SKIP() << "built without FOCUS_WITH_BLAS";
+    }
+    Rng rng(21);
+    const int64_t m = 45, n = 38, k = 51;
+    const std::vector<float> a = randomBuf(rng, m * k);
+    const std::vector<float> b = randomBuf(rng, k * n);
+    std::vector<float> c_blas(static_cast<size_t>(m * n));
+    std::vector<float> c_ref(static_cast<size_t>(m * n));
+    kernels::gemmBlasF32(m, n, k, a.data(), k, b.data(), n,
+                         c_blas.data(), n);
+    kernels::gemmF32(m, n, k, a.data(), k, b.data(), n, c_ref.data(),
+                     n);
+    // BLAS reorders the k reduction, so agreement is approximate:
+    // the documented tolerance for these magnitudes (see
+    // docs/KERNELS.md).
+    for (size_t i = 0; i < c_ref.size(); ++i) {
+        EXPECT_NEAR(c_blas[i], c_ref[i],
+                    1e-4 *
+                        (1.0 + std::abs(static_cast<double>(c_ref[i]))));
+    }
+
+    // TransB variant too.
+    const std::vector<float> bt = randomBuf(rng, n * k);
+    std::vector<float> t_blas(static_cast<size_t>(m * n));
+    std::vector<float> t_ref(static_cast<size_t>(m * n));
+    kernels::gemmTransBBlasF32(m, n, k, a.data(), k, bt.data(), k,
+                               t_blas.data(), n);
+    kernels::gemmTransBF32(m, n, k, a.data(), k, bt.data(), k,
+                           t_ref.data(), n);
+    for (size_t i = 0; i < t_ref.size(); ++i) {
+        EXPECT_NEAR(t_blas[i], t_ref[i],
+                    1e-4 *
+                        (1.0 + std::abs(static_cast<double>(t_ref[i]))));
+    }
+}
+
+// The end-to-end contract the kernel layer must not break: functional
+// evaluation aggregates stay bit-identical at every thread count (the
+// blocked GEMM's M-block fan-out composes with the per-sample
+// fan-out).
+TEST(KernelsDeterminism, RunFunctionalBitIdenticalAcrossThreadCounts)
+{
+    EvalOptions o;
+    o.samples = 3;
+    Evaluator ev("Llava-Vid", "MVBench", o);
+
+    ThreadPool serial_pool(1);
+    ThreadPool parallel_pool(4);
+    const MethodEval serial =
+        ev.runFunctional(MethodConfig::focusFull(), &serial_pool);
+    const MethodEval parallel =
+        ev.runFunctional(MethodConfig::focusFull(), &parallel_pool);
+
+    EXPECT_EQ(serial.accuracy, parallel.accuracy);
+    EXPECT_EQ(serial.sparsity, parallel.sparsity);
+    ASSERT_EQ(serial.agg.keep_in.size(), parallel.agg.keep_in.size());
+    for (size_t l = 0; l < serial.agg.keep_in.size(); ++l) {
+        EXPECT_EQ(serial.agg.keep_in[l], parallel.agg.keep_in[l]);
+        EXPECT_EQ(serial.agg.psi_qkv[l], parallel.agg.psi_qkv[l]);
+        EXPECT_EQ(serial.agg.psi_ffn[l], parallel.agg.psi_ffn[l]);
+    }
+}
+
+TEST(KernelsQuant, GemmInt8TensorPathUnchanged)
+{
+    // tensor/quant.cc gemmInt8 now routes through the kernel layer;
+    // its int8 result must still track the fp32 product closely
+    // (same bound as tests/test_tensor.cc used pre-refactor).
+    Rng rng(22);
+    Tensor a(12, 40), b(40, 9);
+    for (int64_t i = 0; i < a.numel(); ++i) {
+        a.data()[i] = static_cast<float>(rng.gaussian());
+    }
+    for (int64_t i = 0; i < b.numel(); ++i) {
+        b.data()[i] = static_cast<float>(rng.gaussian());
+    }
+    Tensor cf, cq;
+    gemm(a, b, cf);
+    gemmInt8(a, b, cq);
+    EXPECT_LT(relativeError(cq, cf), 0.05);
+}
