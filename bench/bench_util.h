@@ -34,12 +34,18 @@ struct BenchOptions
 {
     int samples = 1; ///< QA samples per grid cell
     int threads = 0; ///< explicit --threads=N (0 = pool default)
+    int batch = 0;   ///< explicit --batch=N (0 = bench default)
+    /** Explicit --arrival-rate=R in req/s (0 = bench default). */
+    double arrival_rate = 0.0;
 };
 
 /**
- * Parse "[samples] [--threads=N]" with the environment fallbacks
- * described in the file header, and size the global pool when
- * --threads is given.
+ * Parse "[samples] [--threads=N] [--batch=N] [--arrival-rate=R]"
+ * with the environment fallbacks described in the file header, and
+ * size the global pool when --threads is given.  The batch /
+ * arrival-rate pair is consumed by the serving bench; every bench
+ * parses (and rejects malformed values of) it so a shared wrapper
+ * script can pass one flag set.
  */
 inline BenchOptions
 benchOptions(int argc, char **argv, int fallback_samples)
@@ -54,12 +60,29 @@ benchOptions(int argc, char **argv, int fallback_samples)
                 fatal("invalid thread count in '%s' (want a "
                       "positive integer)", argv[i]);
             }
+        } else if (std::strncmp(argv[i], "--batch=", 8) == 0) {
+            char *end = nullptr;
+            bo.batch = static_cast<int>(
+                std::strtol(argv[i] + 8, &end, 10));
+            if (end == argv[i] + 8 || *end != '\0' || bo.batch < 1) {
+                fatal("invalid batch size in '%s' (want a positive "
+                      "integer)", argv[i]);
+            }
+        } else if (std::strncmp(argv[i], "--arrival-rate=", 15) == 0) {
+            char *end = nullptr;
+            bo.arrival_rate = std::strtod(argv[i] + 15, &end);
+            if (end == argv[i] + 15 || *end != '\0' ||
+                !(bo.arrival_rate > 0.0)) {
+                fatal("invalid arrival rate in '%s' (want a positive "
+                      "req/s value)", argv[i]);
+            }
         } else if (argv[i][0] == '-' && argv[i][1] != '\0' &&
                    (argv[i][1] < '0' || argv[i][1] > '9')) {
             // Reject unknown flags loudly: a typo like --thread=4
             // must not silently become the sample count.
             fatal("unknown option '%s' (usage: %s [samples] "
-                  "[--threads=N])", argv[i], argv[0]);
+                  "[--threads=N] [--batch=N] [--arrival-rate=R])",
+                  argv[i], argv[0]);
         } else if (!have_samples) {
             bo.samples = std::max(1, std::atoi(argv[i]));
             have_samples = true;

@@ -122,6 +122,27 @@ Evaluator::simulate(const MethodConfig &method, const AccelConfig &accel,
     return simulateAccelerator(accel, tr);
 }
 
+RunMetrics
+Evaluator::simulateBatch(const std::vector<MethodConfig> &methods,
+                         const AccelConfig &accel) const
+{
+    if (methods.empty()) {
+        panic("Evaluator::simulateBatch: empty method batch");
+    }
+    std::vector<WorkloadTrace> traces;
+    traces.reserve(methods.size());
+    for (const MethodConfig &m : methods) {
+        const MethodEval ev = runFunctional(m);
+        traces.push_back(buildFullTrace(m, ev));
+    }
+    std::vector<const WorkloadTrace *> parts;
+    parts.reserve(traces.size());
+    for (const WorkloadTrace &t : traces) {
+        parts.push_back(&t);
+    }
+    return simulateAccelerator(accel, fuseTraces(parts));
+}
+
 double
 Evaluator::traceSparsity(const MethodConfig &method,
                          const MethodEval &eval) const

@@ -70,6 +70,17 @@ class Evaluator
                         MethodEval *out_eval = nullptr) const;
 
     /**
+     * Batch-aware simulation: run the functional model per method,
+     * fuse the per-method full-scale traces into one multi-query
+     * batch trace (sim/trace.h fuseTraces) and cost it in a single
+     * accelerator pass.  With one method this is bit-identical to
+     * simulate().  The serving layer (src/serve/) builds on the same
+     * seam for request streams across (model, dataset) pairs.
+     */
+    RunMetrics simulateBatch(const std::vector<MethodConfig> &methods,
+                             const AccelConfig &accel) const;
+
+    /**
      * Full-scale computation sparsity: 1 - trace MACs / dense trace
      * MACs.  This is the paper's Tbl. II metric (the reduced-scale
      * functional sparsity over-weights attention, which is a much

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Batch formation policies for the serving layer.
+ *
+ * The scheduler turns a timed request stream into batches that the
+ * accelerator executes as one fused trace (sim/trace.h fuseTraces).
+ * Requests only co-batch when they target the same model — a fused
+ * batch shares weight panels, and two different models have none to
+ * share — so every policy keys its open batches by model first.
+ *
+ * Policies:
+ *
+ *  - Single: no batching; every request runs alone (the batch-of-1
+ *    reference, bit-identical to Evaluator::simulate).
+ *  - FixedSize: close a batch only when it reaches max_batch; the
+ *    stream-end flush releases trailing partial batches.
+ *  - Timeout: dynamic batching — close at max_batch or when the
+ *    oldest member has waited timeout_s, whichever is first.
+ *  - ConcAware: concentration-aware grouping — like Timeout, but the
+ *    batch key also includes a retained-token bucket
+ *    (log2 of the trace's retained row count), so requests whose SEC
+ *    schedules leave similar work behind share a batch and a light
+ *    query never rides behind a heavy one.
+ *
+ * Open-loop formation (planOpenLoop) is a pure function of arrival
+ * times and cost keys — the batch former runs ahead of the execution
+ * engine and never sees completions — which lets the serving
+ * simulator cost all planned batches across the thread pool and keep
+ * results bit-identical at every thread count.  Closed-loop serving
+ * instead picks from the pending queue each time the accelerator
+ * frees up (pickPending).
+ */
+
+#ifndef FOCUS_SERVE_BATCH_SCHEDULER_H
+#define FOCUS_SERVE_BATCH_SCHEDULER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/request_queue.h"
+
+namespace focus
+{
+
+/** Batch formation policy. */
+enum class BatchPolicy
+{
+    Single,    ///< batch of 1 (reference)
+    FixedSize, ///< close only at max_batch
+    Timeout,   ///< close at max_batch or timeout_s
+    ConcAware, ///< Timeout + retained-token grouping
+};
+
+const char *batchPolicyName(BatchPolicy p);
+
+/** Scheduler configuration. */
+struct SchedulerConfig
+{
+    BatchPolicy policy = BatchPolicy::Timeout;
+    int max_batch = 8;
+    /** Oldest-member wait bound for Timeout / ConcAware. */
+    double timeout_s = 30.0;
+};
+
+/**
+ * Per-request batching key: the model index separates incompatible
+ * batches, the cost key feeds ConcAware grouping.
+ */
+struct BatchKey
+{
+    int model = 0;        ///< dense model index (same index = same weights)
+    int64_t cost = 0;     ///< retained-row count of the request's trace
+};
+
+/** One planned batch of an open-loop stream. */
+struct PlannedBatch
+{
+    std::vector<size_t> members; ///< request indices, arrival order
+    double ready_s = 0.0;        ///< when the former releases the batch
+};
+
+class BatchScheduler
+{
+  public:
+    explicit BatchScheduler(const SchedulerConfig &cfg);
+
+    const SchedulerConfig &config() const { return cfg_; }
+
+    /**
+     * Open-loop batch plan.  @p stream must be sorted by arrival_s
+     * (RequestQueue::generate guarantees this for OpenPoisson);
+     * @p keys holds one BatchKey per request.  Returned batches are
+     * sorted by (ready_s, first member id).
+     */
+    std::vector<PlannedBatch>
+    planOpenLoop(const std::vector<ServeRequest> &stream,
+                 const std::vector<BatchKey> &keys) const;
+
+    /**
+     * Closed-loop pick when the accelerator frees up: take the
+     * oldest pending request and fill the batch with compatible
+     * pending requests in queue order, up to max_batch.  @p pending
+     * holds request indices in arrival order; @p keys is indexed by
+     * request index.  Timeout never applies here — the pick happens
+     * exactly when capacity exists.
+     */
+    std::vector<size_t>
+    pickPending(const std::vector<size_t> &pending,
+                const std::vector<BatchKey> &keys) const;
+
+    /** True if two requests may share a batch under this policy. */
+    bool compatible(const BatchKey &a, const BatchKey &b) const;
+
+  private:
+    SchedulerConfig cfg_;
+};
+
+} // namespace focus
+
+#endif // FOCUS_SERVE_BATCH_SCHEDULER_H

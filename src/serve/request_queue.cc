@@ -1,0 +1,172 @@
+#include "serve/request_queue.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace focus
+{
+
+const char *
+arrivalProcessName(ArrivalProcess p)
+{
+    switch (p) {
+      case ArrivalProcess::OpenPoisson:
+        return "open-poisson";
+      case ArrivalProcess::ClosedLoop:
+        return "closed-loop";
+    }
+    return "?";
+}
+
+std::string
+RequestClass::label() const
+{
+    return model + "/" + dataset + "/" + method.name();
+}
+
+RequestQueue::RequestQueue(const QueueConfig &cfg) : cfg_(cfg)
+{
+    if (cfg_.mix.empty()) {
+        fatal("RequestQueue: empty request mix");
+    }
+    if (cfg_.num_requests <= 0) {
+        fatal("RequestQueue: num_requests must be positive (got %d)",
+              cfg_.num_requests);
+    }
+    double total_weight = 0.0;
+    for (const RequestClass &c : cfg_.mix) {
+        if (c.weight < 0.0) {
+            fatal("RequestQueue: negative weight for class '%s'",
+                  c.label().c_str());
+        }
+        if (c.slo_latency_s <= 0.0) {
+            fatal("RequestQueue: non-positive SLO for class '%s'",
+                  c.label().c_str());
+        }
+        total_weight += c.weight;
+    }
+    if (total_weight <= 0.0) {
+        fatal("RequestQueue: request mix has zero total weight");
+    }
+    if (cfg_.process == ArrivalProcess::OpenPoisson &&
+        cfg_.arrival_rate_rps <= 0.0) {
+        fatal("RequestQueue: open-loop arrival rate must be positive "
+              "(got %g)", cfg_.arrival_rate_rps);
+    }
+    if (cfg_.process == ArrivalProcess::ClosedLoop) {
+        if (cfg_.clients <= 0) {
+            fatal("RequestQueue: closed-loop client count must be "
+                  "positive (got %d)", cfg_.clients);
+        }
+        if (cfg_.think_mean_s < 0.0) {
+            fatal("RequestQueue: negative think time (%g s)",
+                  cfg_.think_mean_s);
+        }
+    }
+}
+
+namespace
+{
+
+/** Exponential variate with mean @p mean (mean 0 returns 0). */
+double
+exponential(Rng &rng, double mean)
+{
+    if (mean <= 0.0) {
+        return 0.0;
+    }
+    // uniform() is in [0, 1), so 1 - u is in (0, 1] and log() is safe.
+    return -std::log(1.0 - rng.uniform()) * mean;
+}
+
+/** Weighted class draw (weights validated at construction). */
+int
+drawClass(Rng &rng, const std::vector<RequestClass> &mix,
+          double total_weight)
+{
+    double u = rng.uniform() * total_weight;
+    for (size_t i = 0; i < mix.size(); ++i) {
+        u -= mix[i].weight;
+        if (u < 0.0) {
+            return static_cast<int>(i);
+        }
+    }
+    return static_cast<int>(mix.size()) - 1;
+}
+
+} // namespace
+
+std::vector<ServeRequest>
+RequestQueue::generate() const
+{
+    Rng rng(cfg_.seed ^ 0x5e21f0c4a87d3b19ull);
+    double total_weight = 0.0;
+    for (const RequestClass &c : cfg_.mix) {
+        total_weight += c.weight;
+    }
+
+    std::vector<ServeRequest> stream;
+    stream.reserve(static_cast<size_t>(cfg_.num_requests));
+
+    double clock = 0.0;
+    for (int i = 0; i < cfg_.num_requests; ++i) {
+        ServeRequest r;
+        r.id = i;
+        r.class_id = drawClass(rng, cfg_.mix, total_weight);
+        r.slo_latency_s =
+            cfg_.mix[static_cast<size_t>(r.class_id)].slo_latency_s;
+        if (cfg_.process == ArrivalProcess::OpenPoisson) {
+            clock += exponential(rng, 1.0 / cfg_.arrival_rate_rps);
+            r.arrival_s = clock;
+        } else {
+            r.client = i % cfg_.clients;
+            r.think_s = exponential(rng, cfg_.think_mean_s);
+        }
+        stream.push_back(r);
+    }
+    return stream;
+}
+
+std::vector<RequestClass>
+standardServingMix()
+{
+    std::vector<RequestClass> mix;
+
+    RequestClass focus_vid;
+    focus_vid.model = "Llava-Vid";
+    focus_vid.dataset = "VideoMME";
+    focus_vid.method = MethodConfig::focusFull();
+    focus_vid.weight = 3.0;
+    focus_vid.slo_latency_s = 120.0;
+    mix.push_back(focus_vid);
+
+    RequestClass dense_vid;
+    dense_vid.model = "Llava-Vid";
+    dense_vid.dataset = "VideoMME";
+    dense_vid.method = MethodConfig::dense();
+    dense_vid.weight = 1.0;
+    dense_vid.slo_latency_s = 480.0;
+    mix.push_back(dense_vid);
+
+    RequestClass focus_short;
+    focus_short.model = "MiniCPM";
+    focus_short.dataset = "MVBench";
+    focus_short.method = MethodConfig::focusFull();
+    focus_short.weight = 2.0;
+    focus_short.slo_latency_s = 90.0;
+    mix.push_back(focus_short);
+
+    RequestClass focus_long;
+    focus_long.model = "Llava-OV";
+    focus_long.dataset = "MLVU-Long";
+    focus_long.method = MethodConfig::focusFull();
+    focus_long.weight = 2.0;
+    focus_long.slo_latency_s = 240.0;
+    mix.push_back(focus_long);
+
+    return mix;
+}
+
+} // namespace focus

@@ -1,0 +1,395 @@
+#include "serve/serving_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <queue>
+
+#include "common/logging.h"
+#include "runtime/thread_pool.h"
+
+namespace focus
+{
+
+ServingSimulator::ServingSimulator(const QueueConfig &queue,
+                                   const AccelConfig &accel,
+                                   const EvalOptions &eval)
+    : queue_(queue), accel_(accel), eval_(eval)
+{
+    // Validate the arrival configuration up front (fatal on errors).
+    RequestQueue probe(queue_);
+    (void)probe;
+}
+
+size_t
+ServingSimulator::internCombo(const std::string &model,
+                              const std::string &dataset,
+                              const MethodConfig &method)
+{
+    // Combos deduplicate by method *name* (see file header): two mix
+    // classes whose methods print the same name share a calibration.
+    const std::string key = model + "\n" + dataset + "\n" +
+        method.name();
+    const auto it = combo_index_.find(key);
+    if (it != combo_index_.end()) {
+        return it->second;
+    }
+    Combo c;
+    c.model = model;
+    c.dataset = dataset;
+    c.method = method;
+    combos_.push_back(std::move(c));
+    combo_index_.emplace(key, combos_.size() - 1);
+    return combos_.size() - 1;
+}
+
+const Evaluator &
+ServingSimulator::evaluatorFor(const std::string &model,
+                               const std::string &dataset)
+{
+    const auto key = std::make_pair(model, dataset);
+    auto it = evaluators_.find(key);
+    if (it == evaluators_.end()) {
+        it = evaluators_
+                 .emplace(key, std::make_unique<Evaluator>(
+                                   model, dataset, eval_))
+                 .first;
+    }
+    return *it->second;
+}
+
+void
+ServingSimulator::calibrate(ThreadPool *pool)
+{
+    if (calibrated_) {
+        return;
+    }
+
+    class_combo_.clear();
+    class_dense_.clear();
+    for (const RequestClass &c : queue_.mix) {
+        class_combo_.push_back(
+            internCombo(c.model, c.dataset, c.method));
+    }
+    // Dense reference per class for the accuracy-delta report; a
+    // dense class aliases its own combo.
+    for (const RequestClass &c : queue_.mix) {
+        class_dense_.push_back(
+            internCombo(c.model, c.dataset, MethodConfig::dense()));
+    }
+
+    // Evaluators (model weights, sample generators) build serially;
+    // combos sharing a (model, dataset) pair share one instance.
+    std::vector<std::string> model_names;
+    for (Combo &c : combos_) {
+        evaluatorFor(c.model, c.dataset);
+        const auto it = std::find(model_names.begin(),
+                                  model_names.end(), c.model);
+        c.model_id = static_cast<int>(it - model_names.begin());
+        if (it == model_names.end()) {
+            model_names.push_back(c.model);
+        }
+    }
+
+    // Functional calibration fans across the pool, one slot per
+    // combo; per-sample parallelism nests inline inside workers.
+    ThreadPool &p = pool ? *pool : ThreadPool::global();
+    p.parallelFor(
+        static_cast<int64_t>(combos_.size()), [&](int64_t i) {
+            Combo &c = combos_[static_cast<size_t>(i)];
+            const Evaluator &ev =
+                *evaluators_.at(std::make_pair(c.model, c.dataset));
+            c.eval = ev.runFunctional(c.method, &p);
+            c.trace = ev.buildFullTrace(c.method, c.eval);
+            c.solo = simulateAccelerator(accel_, c.trace);
+        });
+    calibrated_ = true;
+}
+
+const RunMetrics &
+ServingSimulator::classSolo(int class_id)
+{
+    calibrate();
+    if (class_id < 0 ||
+        static_cast<size_t>(class_id) >= class_combo_.size()) {
+        panic("ServingSimulator::classSolo: class %d out of range",
+              class_id);
+    }
+    return combos_[class_combo_[static_cast<size_t>(class_id)]].solo;
+}
+
+const RunMetrics &
+ServingSimulator::costComposition(const std::vector<size_t> &comp)
+{
+    const auto it = batch_cache_.find(comp);
+    if (it != batch_cache_.end()) {
+        return it->second;
+    }
+    std::vector<const WorkloadTrace *> parts;
+    parts.reserve(comp.size());
+    for (const size_t combo : comp) {
+        parts.push_back(&combos_[combo].trace);
+    }
+    RunMetrics m = simulateAccelerator(accel_, fuseTraces(parts));
+    return batch_cache_.emplace(comp, std::move(m)).first->second;
+}
+
+namespace
+{
+
+/** Nearest-rank percentile of an ascending-sorted series. */
+double
+percentile(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty()) {
+        return 0.0;
+    }
+    const double rank =
+        std::ceil(q * static_cast<double>(sorted.size()));
+    const size_t idx = static_cast<size_t>(
+        std::max(0.0, rank - 1.0));
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+} // namespace
+
+ServingReport
+ServingSimulator::run(const SchedulerConfig &sched, ThreadPool *pool)
+{
+    calibrate(pool);
+    const BatchScheduler scheduler(sched);
+    const std::vector<ServeRequest> stream =
+        RequestQueue(queue_).generate();
+    const size_t n = stream.size();
+
+    std::vector<size_t> req_combo(n);
+    std::vector<BatchKey> keys(n);
+    for (size_t i = 0; i < n; ++i) {
+        const size_t combo =
+            class_combo_[static_cast<size_t>(stream[i].class_id)];
+        req_combo[i] = combo;
+        keys[i] = BatchKey{combos_[combo].model_id,
+                           combos_[combo].trace.retainedRows()};
+    }
+
+    std::vector<RequestOutcome> outcomes(n);
+    std::vector<BatchRecord> batches;
+
+    const auto recordBatch = [&](const std::vector<size_t> &members,
+                                 double ready, double start,
+                                 const RunMetrics &m) {
+        BatchRecord rec;
+        rec.ready_s = ready;
+        rec.start_s = start;
+        rec.service_s = m.seconds();
+        rec.metrics = m;
+        const int batch_id = static_cast<int>(batches.size());
+        for (const size_t i : members) {
+            rec.request_ids.push_back(stream[i].id);
+            RequestOutcome &o = outcomes[i];
+            o.id = stream[i].id;
+            o.class_id = stream[i].class_id;
+            o.batch_id = batch_id;
+            o.batch_size = static_cast<int>(members.size());
+            o.start_s = start;
+            o.finish_s = start + rec.service_s;
+        }
+        batches.push_back(std::move(rec));
+        return start + batches.back().service_s;
+    };
+
+    if (queue_.process == ArrivalProcess::OpenPoisson) {
+        for (size_t i = 0; i < n; ++i) {
+            outcomes[i].arrival_s = stream[i].arrival_s;
+        }
+        const std::vector<PlannedBatch> plans =
+            scheduler.planOpenLoop(stream, keys);
+
+        // Fuse + simulate every distinct composition across the
+        // pool; the timeline pass below then only reads the cache.
+        std::vector<std::vector<size_t>> comps(plans.size());
+        std::vector<std::vector<size_t>> todo;
+        for (size_t b = 0; b < plans.size(); ++b) {
+            for (const size_t i : plans[b].members) {
+                comps[b].push_back(req_combo[i]);
+            }
+            if (batch_cache_.find(comps[b]) == batch_cache_.end() &&
+                std::find(todo.begin(), todo.end(), comps[b]) ==
+                    todo.end()) {
+                todo.push_back(comps[b]);
+            }
+        }
+        std::vector<RunMetrics> slots(todo.size());
+        ThreadPool &p = pool ? *pool : ThreadPool::global();
+        p.parallelFor(
+            static_cast<int64_t>(todo.size()), [&](int64_t t) {
+                const std::vector<size_t> &comp =
+                    todo[static_cast<size_t>(t)];
+                std::vector<const WorkloadTrace *> parts;
+                parts.reserve(comp.size());
+                for (const size_t combo : comp) {
+                    parts.push_back(&combos_[combo].trace);
+                }
+                slots[static_cast<size_t>(t)] =
+                    simulateAccelerator(accel_, fuseTraces(parts));
+            });
+        for (size_t t = 0; t < todo.size(); ++t) {
+            batch_cache_.emplace(todo[t], std::move(slots[t]));
+        }
+
+        double free_t = 0.0;
+        for (size_t b = 0; b < plans.size(); ++b) {
+            const RunMetrics &m = costComposition(comps[b]);
+            const double start =
+                std::max(free_t, plans[b].ready_s);
+            free_t = recordBatch(plans[b].members, plans[b].ready_s,
+                                 start, m);
+        }
+    } else {
+        // Closed loop: arrivals depend on completions, so the event
+        // loop is serial; compositions still hit the shared cache.
+        std::vector<double> arr(n, 0.0);
+        using Arrival = std::pair<double, int64_t>;
+        std::priority_queue<Arrival, std::vector<Arrival>,
+                            std::greater<Arrival>>
+            heap;
+        const size_t clients =
+            static_cast<size_t>(queue_.clients);
+        for (size_t c = 0; c < clients && c < n; ++c) {
+            arr[c] = stream[c].think_s;
+            heap.push({arr[c], static_cast<int64_t>(c)});
+        }
+
+        std::vector<size_t> pending;
+        const auto admitUpTo = [&](double t) {
+            while (!heap.empty() && heap.top().first <= t) {
+                pending.push_back(
+                    static_cast<size_t>(heap.top().second));
+                heap.pop();
+            }
+        };
+
+        double free_t = 0.0;
+        size_t completed = 0;
+        while (completed < n) {
+            if (pending.empty()) {
+                if (heap.empty()) {
+                    panic("ServingSimulator: closed loop starved "
+                          "with %zu/%zu requests done", completed, n);
+                }
+                admitUpTo(heap.top().first);
+            }
+            const double start =
+                std::max(free_t, arr[pending.front()]);
+            admitUpTo(start);
+
+            const std::vector<size_t> picked =
+                scheduler.pickPending(pending, keys);
+            std::vector<size_t> comp;
+            comp.reserve(picked.size());
+            for (const size_t i : picked) {
+                comp.push_back(req_combo[i]);
+            }
+            const RunMetrics &m = costComposition(comp);
+            for (const size_t i : picked) {
+                outcomes[i].arrival_s = arr[i];
+            }
+            const double finish =
+                recordBatch(picked, start, start, m);
+            free_t = finish;
+
+            for (const size_t i : picked) {
+                pending.erase(std::find(pending.begin(),
+                                        pending.end(), i));
+                const size_t next = i + clients;
+                if (next < n) {
+                    arr[next] = finish + stream[next].think_s;
+                    heap.push({arr[next],
+                               static_cast<int64_t>(next)});
+                }
+            }
+            completed += picked.size();
+        }
+    }
+
+    return assemble(sched, stream, std::move(outcomes),
+                    std::move(batches));
+}
+
+ServingReport
+ServingSimulator::assemble(const SchedulerConfig &sched,
+                           const std::vector<ServeRequest> &stream,
+                           std::vector<RequestOutcome> outcomes,
+                           std::vector<BatchRecord> batches) const
+{
+    ServingReport rep;
+    rep.policy = batchPolicyName(sched.policy);
+    rep.outcomes = std::move(outcomes);
+    rep.batches = std::move(batches);
+
+    std::vector<double> lat;
+    lat.reserve(rep.outcomes.size());
+    double lat_sum = 0.0;
+    size_t slo_ok = 0;
+    for (RequestOutcome &o : rep.outcomes) {
+        o.slo_met = o.latency_s() <=
+            stream[static_cast<size_t>(o.id)].slo_latency_s;
+        lat.push_back(o.latency_s());
+        lat_sum += o.latency_s();
+        slo_ok += o.slo_met ? 1 : 0;
+        rep.makespan_s = std::max(rep.makespan_s, o.finish_s);
+    }
+    std::sort(lat.begin(), lat.end());
+    if (!lat.empty()) {
+        rep.latency.mean =
+            lat_sum / static_cast<double>(lat.size());
+        rep.latency.p50 = percentile(lat, 0.50);
+        rep.latency.p95 = percentile(lat, 0.95);
+        rep.latency.p99 = percentile(lat, 0.99);
+        rep.latency.max = lat.back();
+        rep.slo_attainment = static_cast<double>(slo_ok) /
+            static_cast<double>(lat.size());
+        rep.throughput_rps = rep.makespan_s > 0.0
+            ? static_cast<double>(lat.size()) / rep.makespan_s
+            : 0.0;
+    }
+
+    if (!rep.batches.empty()) {
+        double occ = 0.0;
+        for (const BatchRecord &b : rep.batches) {
+            occ += static_cast<double>(b.request_ids.size()) /
+                static_cast<double>(sched.max_batch);
+        }
+        rep.mean_occupancy =
+            occ / static_cast<double>(rep.batches.size());
+    }
+
+    for (size_t cls = 0; cls < queue_.mix.size(); ++cls) {
+        ClassOutcome co;
+        co.label = queue_.mix[cls].label();
+        co.accuracy = combos_[class_combo_[cls]].eval.accuracy;
+        co.dense_accuracy =
+            combos_[class_dense_[cls]].eval.accuracy;
+        co.solo_latency_s = combos_[class_combo_[cls]].solo.seconds();
+        double cls_lat = 0.0;
+        size_t cls_slo = 0;
+        for (const RequestOutcome &o : rep.outcomes) {
+            if (o.class_id != static_cast<int>(cls)) {
+                continue;
+            }
+            co.requests += 1;
+            cls_lat += o.latency_s();
+            cls_slo += o.slo_met ? 1 : 0;
+        }
+        if (co.requests > 0) {
+            co.mean_latency_s =
+                cls_lat / static_cast<double>(co.requests);
+            co.slo_attainment = static_cast<double>(cls_slo) /
+                static_cast<double>(co.requests);
+        }
+        rep.classes.push_back(std::move(co));
+    }
+    return rep;
+}
+
+} // namespace focus

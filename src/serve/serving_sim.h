@@ -1,0 +1,178 @@
+/**
+ * @file
+ * End-to-end serving simulation: request stream -> batches -> fused
+ * traces -> accelerator timeline -> throughput/latency report.
+ *
+ * The simulator separates one-time *calibration* from per-policy
+ * *replay*:
+ *
+ *  - calibrate() runs the functional model once per distinct
+ *    (model, dataset, method) combo in the mix (plus a dense
+ *    reference per (model, dataset) pair for accuracy deltas), fans
+ *    the work across the runtime thread pool, and builds each
+ *    combo's full-scale trace and batch-of-1 metrics.  Combos are
+ *    deduplicated by method *name*: two classes whose methods share
+ *    a name share a calibration.
+ *  - run(policy) replays the stream under a scheduler policy.
+ *    Open-loop plans are a pure function of arrivals, so every
+ *    distinct batch composition is fused and simulated across the
+ *    pool before a serial timeline pass assigns start/finish times.
+ *    Closed-loop replay is a serial event loop (arrivals depend on
+ *    completions) over the same composition cache.
+ *
+ * Determinism: for a fixed QueueConfig seed every report is
+ * bit-identical at every thread count — parallel stages write only
+ * per-index slots and all reductions run serially in index order.
+ * A Single-policy run reproduces Evaluator::simulate bit-exactly for
+ * each request (fuseTraces returns singleton traces verbatim).
+ */
+
+#ifndef FOCUS_SERVE_SERVING_SIM_H
+#define FOCUS_SERVE_SERVING_SIM_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "eval/evaluator.h"
+#include "serve/batch_scheduler.h"
+#include "serve/request_queue.h"
+
+namespace focus
+{
+
+/** Timeline outcome of one request. */
+struct RequestOutcome
+{
+    int64_t id = 0;
+    int class_id = 0;
+    int batch_id = -1;
+    int batch_size = 1;
+    double arrival_s = 0.0;
+    double start_s = 0.0;
+    double finish_s = 0.0;
+    bool slo_met = false;
+
+    double latency_s() const { return finish_s - arrival_s; }
+    double queue_s() const { return start_s - arrival_s; }
+};
+
+/** One executed batch. */
+struct BatchRecord
+{
+    std::vector<int64_t> request_ids;
+    double ready_s = 0.0;
+    double start_s = 0.0;
+    double service_s = 0.0;
+    RunMetrics metrics; ///< fused-trace accelerator metrics
+};
+
+/** Per-class accuracy and latency summary. */
+struct ClassOutcome
+{
+    std::string label;
+    int requests = 0;
+    double accuracy = 0.0;
+    double dense_accuracy = 0.0;
+    double mean_latency_s = 0.0;
+    double slo_attainment = 0.0;
+    /** Batch-of-1 service time of this class (reference). */
+    double solo_latency_s = 0.0;
+
+    double accuracyDelta() const { return accuracy - dense_accuracy; }
+};
+
+/** Nearest-rank latency statistics. */
+struct LatencyStats
+{
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+};
+
+/** Full replay result. */
+struct ServingReport
+{
+    std::string policy;
+    std::vector<RequestOutcome> outcomes; ///< request-id order
+    std::vector<BatchRecord> batches;     ///< execution order
+    std::vector<ClassOutcome> classes;    ///< mix order
+
+    double makespan_s = 0.0;
+    double throughput_rps = 0.0;
+    LatencyStats latency;
+    /** Mean executed batch size / max_batch. */
+    double mean_occupancy = 0.0;
+    double slo_attainment = 0.0;
+};
+
+class ServingSimulator
+{
+  public:
+    ServingSimulator(const QueueConfig &queue, const AccelConfig &accel,
+                     const EvalOptions &eval);
+
+    /**
+     * One-time functional calibration (idempotent); run() calls it
+     * on demand.  Fans combos across @p pool (global when null).
+     */
+    void calibrate(ThreadPool *pool = nullptr);
+
+    /** Replay the stream under @p sched. */
+    ServingReport run(const SchedulerConfig &sched,
+                      ThreadPool *pool = nullptr);
+
+    /** Batch-of-1 metrics of a mix class (calibrates on demand). */
+    const RunMetrics &classSolo(int class_id);
+
+    const QueueConfig &queueConfig() const { return queue_; }
+
+  private:
+    /** Calibrated (model, dataset, method) combo. */
+    struct Combo
+    {
+        std::string model;
+        std::string dataset;
+        MethodConfig method;
+        int model_id = 0;
+        MethodEval eval;
+        WorkloadTrace trace;
+        RunMetrics solo;
+    };
+
+    size_t internCombo(const std::string &model,
+                       const std::string &dataset,
+                       const MethodConfig &method);
+    const Evaluator &evaluatorFor(const std::string &model,
+                                  const std::string &dataset);
+    const RunMetrics &costComposition(const std::vector<size_t> &comp);
+    ServingReport assemble(const SchedulerConfig &sched,
+                           const std::vector<ServeRequest> &stream,
+                           std::vector<RequestOutcome> outcomes,
+                           std::vector<BatchRecord> batches) const;
+
+    QueueConfig queue_;
+    AccelConfig accel_;
+    EvalOptions eval_;
+    bool calibrated_ = false;
+
+    std::map<std::pair<std::string, std::string>,
+             std::unique_ptr<Evaluator>>
+        evaluators_;
+    std::vector<Combo> combos_;
+    std::map<std::string, size_t> combo_index_;
+    std::vector<size_t> class_combo_; ///< mix class -> combo
+    std::vector<size_t> class_dense_; ///< mix class -> dense reference
+
+    /** Fused metrics per batch composition (combo-id sequence). */
+    std::map<std::vector<size_t>, RunMetrics> batch_cache_;
+};
+
+} // namespace focus
+
+#endif // FOCUS_SERVE_SERVING_SIM_H

@@ -179,23 +179,51 @@ simulateAccelerator(const AccelConfig &cfg, const WorkloadTrace &trace,
         }
 
         // ---- SFU activity ----
+        // Softmax and SEC are per-request: in a fused batch trace a
+        // query only attends within its own rows, so quadratic terms
+        // cost sum(r_i^2) over LayerEvents::queries, never
+        // (sum r_i)^2.  The linear rmsnorm/swiglu terms sum either
+        // way.  Single-query traces take the scalar path untouched
+        // (batch-of-1 bit-identity).
         const double rows_in = static_cast<double>(layer.rowsIn());
         const double rows_out = static_cast<double>(layer.rowsOut());
-        rm.sfu_ops += rows_in * rows_in * trace.heads * 3.0; // softmax
+        if (layer.queries.empty()) {
+            rm.sfu_ops += rows_in * rows_in * trace.heads * 3.0;
+        } else {
+            for (const QueryRows &q : layer.queries) {
+                const double r = static_cast<double>(q.rowsIn());
+                rm.sfu_ops += r * r * trace.heads * 3.0; // softmax
+            }
+        }
         rm.sfu_ops += 2.0 * rows_in * trace.hidden * 2.0;    // rmsnorm
         rm.sfu_ops += rows_out * trace.ffn_inner * 2.0;      // swiglu
 
         // ---- SEC ----
         if (layer.sec_topk > 0 && is_focus_arch) {
-            rm.sec_ops += static_cast<double>(layer.text) *
-                rows_in * trace.heads;   // streaming max
-            rm.sec_ops += rows_in *
-                ceilDiv<int64_t>(layer.sec_topk, cfg.sec_lanes);
-            const uint64_t stall = secSorterStall(
-                cfg, layer.visual_in, layer.text, trace.head_dim,
-                trace.heads, layer.sec_topk);
-            rm.stall_sec += stall;
-            layer_compute += stall;
+            const auto secForQuery = [&](int64_t visual_in,
+                                         int64_t text, int64_t topk) {
+                const double q_rows =
+                    static_cast<double>(visual_in + text);
+                rm.sec_ops += static_cast<double>(text) * q_rows *
+                    trace.heads;         // streaming max
+                rm.sec_ops += q_rows *
+                    ceilDiv<int64_t>(topk, cfg.sec_lanes);
+                const uint64_t stall = secSorterStall(
+                    cfg, visual_in, text, trace.head_dim,
+                    trace.heads, topk);
+                rm.stall_sec += stall;
+                layer_compute += stall;
+            };
+            if (layer.queries.empty()) {
+                secForQuery(layer.visual_in, layer.text,
+                            layer.sec_topk);
+            } else {
+                for (const QueryRows &q : layer.queries) {
+                    if (q.sec_topk > 0) {
+                        secForQuery(q.visual_in, q.text, q.sec_topk);
+                    }
+                }
+            }
         }
 
         // ---- compute / DMA overlap ----

@@ -1,6 +1,7 @@
 #include "sim/trace.h"
 
 #include <algorithm>
+#include <cinttypes>
 #include <cmath>
 
 #include "common/logging.h"
@@ -38,6 +39,16 @@ WorkloadTrace::totalMacs() const
         }
     }
     return total;
+}
+
+int64_t
+WorkloadTrace::retainedRows() const
+{
+    int64_t rows = 0;
+    for (const LayerEvents &l : layers) {
+        rows += l.rowsIn();
+    }
+    return rows;
 }
 
 namespace
@@ -188,6 +199,215 @@ buildDenseTrace(const ModelProfile &model, const DatasetProfile &dataset)
     FunctionalAggregate agg;
     MethodConfig dense = MethodConfig::dense();
     return buildTrace(model, dataset, dense, agg);
+}
+
+namespace
+{
+
+/** Join the distinct values of @p get over @p parts with '+'. */
+std::string
+joinUnique(const std::vector<const WorkloadTrace *> &parts,
+           const std::string &(*get)(const WorkloadTrace &))
+{
+    std::vector<std::string> seen;
+    for (const WorkloadTrace *p : parts) {
+        const std::string &v = get(*p);
+        if (std::find(seen.begin(), seen.end(), v) == seen.end()) {
+            seen.push_back(v);
+        }
+    }
+    std::string out;
+    for (const std::string &v : seen) {
+        if (!out.empty()) {
+            out += "+";
+        }
+        out += v;
+    }
+    return out;
+}
+
+/**
+ * The single event of @p site in @p layer (panics if not unique).
+ * Shared-weight sites stay unique even in fused traces.
+ */
+const GemmEvent &
+findSite(const LayerEvents &layer, GemmSite site)
+{
+    const GemmEvent *found = nullptr;
+    for (const GemmEvent &g : layer.gemms) {
+        if (g.site == site) {
+            if (found) {
+                panic("fuseTraces: duplicate %s event in layer",
+                      gemmSiteName(site));
+            }
+            found = &g;
+        }
+    }
+    if (!found) {
+        panic("fuseTraces: missing %s event in layer",
+              gemmSiteName(site));
+    }
+    return *found;
+}
+
+/**
+ * Append every event of @p site from each part's layer, in part
+ * order.  Attention events are per-request, so a fused part
+ * contributes one per original request — re-fusing an already-fused
+ * trace keeps them all.
+ */
+void
+appendSite(const std::vector<const WorkloadTrace *> &parts,
+           size_t layer, GemmSite site, std::vector<GemmEvent> &out)
+{
+    for (const WorkloadTrace *p : parts) {
+        for (const GemmEvent &g : p->layers[layer].gemms) {
+            if (g.site == site) {
+                out.push_back(g);
+            }
+        }
+    }
+}
+
+/**
+ * Merge one shared-weight site across parts: rows concatenate and
+ * psi values are row-weighted so total MACs are preserved.
+ */
+GemmEvent
+fuseSharedSite(const std::vector<const WorkloadTrace *> &parts,
+               size_t layer, GemmSite site)
+{
+    GemmEvent fused;
+    fused.site = site;
+    double m_psi_in = 0.0;
+    double m_psi_out = 0.0;
+    for (const WorkloadTrace *p : parts) {
+        const GemmEvent &g = findSite(p->layers[layer], site);
+        if (fused.m == 0) {
+            fused.k = g.k;
+            fused.n = g.n;
+            fused.count = g.count;
+        } else if (g.k != fused.k || g.n != fused.n ||
+                   g.count != fused.count) {
+            panic("fuseTraces: %s weight shapes differ across parts "
+                  "(%" PRId64 "x%" PRId64 " c%d vs %" PRId64
+                  "x%" PRId64 " c%d)",
+                  gemmSiteName(site), g.k, g.n, g.count, fused.k,
+                  fused.n, fused.count);
+        }
+        fused.m += g.m;
+        m_psi_in += static_cast<double>(g.m) * g.psi_in;
+        // A dense part streams its output uncompressed: weight its
+        // share with psi = 1 so fused write traffic is preserved.
+        m_psi_out += static_cast<double>(g.m) *
+            (g.gather_out ? g.psi_out : 1.0);
+        fused.gather_out = fused.gather_out || g.gather_out;
+    }
+    const double m_total = static_cast<double>(fused.m);
+    fused.psi_in = fused.m > 0 ? m_psi_in / m_total : 1.0;
+    fused.psi_out = fused.m > 0 ? m_psi_out / m_total : 1.0;
+    return fused;
+}
+
+} // namespace
+
+WorkloadTrace
+fuseTraces(const std::vector<const WorkloadTrace *> &parts)
+{
+    if (parts.empty()) {
+        panic("fuseTraces: empty part list");
+    }
+    for (const WorkloadTrace *p : parts) {
+        if (!p) {
+            panic("fuseTraces: null part");
+        }
+    }
+    if (parts.size() == 1) {
+        return *parts[0];
+    }
+
+    const WorkloadTrace &head = *parts[0];
+    for (const WorkloadTrace *p : parts) {
+        if (p->hidden != head.hidden || p->heads != head.heads ||
+            p->head_dim != head.head_dim ||
+            p->ffn_inner != head.ffn_inner ||
+            p->layers.size() != head.layers.size()) {
+            fatal("fuseTraces: incompatible backbone geometry "
+                  "('%s' vs '%s'); co-batching requires shared "
+                  "weights",
+                  p->model.c_str(), head.model.c_str());
+        }
+    }
+
+    WorkloadTrace tr;
+    tr.model = joinUnique(
+        parts, +[](const WorkloadTrace &t) -> const std::string & {
+            return t.model;
+        });
+    tr.dataset = joinUnique(
+        parts, +[](const WorkloadTrace &t) -> const std::string & {
+            return t.dataset;
+        });
+    tr.method = joinUnique(
+        parts, +[](const WorkloadTrace &t) -> const std::string & {
+            return t.method;
+        });
+    tr.hidden = head.hidden;
+    tr.heads = head.heads;
+    tr.head_dim = head.head_dim;
+    tr.ffn_inner = head.ffn_inner;
+    tr.batch_size = 0;
+
+    double macs_total = 0.0;
+    double sparsity_weighted = 0.0;
+    for (const WorkloadTrace *p : parts) {
+        tr.visual0 += p->visual0;
+        tr.visual_original += p->visual_original;
+        tr.text += p->text;
+        tr.batch_size += std::max(1, p->batch_size);
+        const double macs = p->totalMacs();
+        macs_total += macs;
+        sparsity_weighted += p->functional_sparsity * macs;
+        tr.tile_fracs.insert(tr.tile_fracs.end(),
+                             p->tile_fracs.begin(),
+                             p->tile_fracs.end());
+    }
+    tr.functional_sparsity =
+        macs_total > 0.0 ? sparsity_weighted / macs_total : 0.0;
+
+    const size_t L = head.layers.size();
+    tr.layers.reserve(L);
+    for (size_t l = 0; l < L; ++l) {
+        LayerEvents le;
+        for (const WorkloadTrace *p : parts) {
+            const LayerEvents &pl = p->layers[l];
+            le.visual_in += pl.visual_in;
+            le.visual_out += pl.visual_out;
+            le.text += pl.text;
+            le.sec_topk += pl.sec_topk;
+            if (pl.queries.empty()) {
+                le.queries.push_back(QueryRows{pl.visual_in,
+                                               pl.visual_out, pl.text,
+                                               pl.sec_topk});
+            } else {
+                // Re-fusing an already-fused trace keeps the
+                // original per-request spans flat.
+                le.queries.insert(le.queries.end(),
+                                  pl.queries.begin(),
+                                  pl.queries.end());
+            }
+        }
+
+        le.gemms.push_back(fuseSharedSite(parts, l, GemmSite::Qkv));
+        appendSite(parts, l, GemmSite::Qk, le.gemms);
+        appendSite(parts, l, GemmSite::Pv, le.gemms);
+        le.gemms.push_back(fuseSharedSite(parts, l, GemmSite::OProj));
+        le.gemms.push_back(fuseSharedSite(parts, l, GemmSite::GateUp));
+        le.gemms.push_back(fuseSharedSite(parts, l, GemmSite::Down));
+
+        tr.layers.push_back(std::move(le));
+    }
+    return tr;
 }
 
 } // namespace focus

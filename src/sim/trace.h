@@ -60,6 +60,24 @@ struct GemmEvent
     }
 };
 
+/**
+ * Per-request row span of one layer inside a fused multi-query trace.
+ * Attention, softmax and SEC are private to a request — a query never
+ * attends across batch boundaries — so the cost models need the
+ * per-request partition of the concatenated rows, not just the sums.
+ */
+struct QueryRows
+{
+    int64_t visual_in = 0;
+    int64_t visual_out = 0;
+    int64_t text = 0;
+    /** Top-k size if SEC prunes this request at this layer, else 0. */
+    int64_t sec_topk = 0;
+
+    int64_t rowsIn() const { return visual_in + text; }
+    int64_t rowsOut() const { return visual_out + text; }
+};
+
 /** One transformer layer's events. */
 struct LayerEvents
 {
@@ -69,6 +87,13 @@ struct LayerEvents
     /** Top-k size if SEC prunes at this layer, else 0. */
     int64_t sec_topk = 0;
     std::vector<GemmEvent> gemms;
+
+    /**
+     * Per-request spans when this layer belongs to a fused batch
+     * trace (see fuseTraces); empty for single-query traces, where
+     * the scalar fields above describe the one request.
+     */
+    std::vector<QueryRows> queries;
 
     int64_t rowsIn() const { return visual_in + text; }
     int64_t rowsOut() const { return visual_out + text; }
@@ -101,8 +126,19 @@ struct WorkloadTrace
     /** Functional computation sparsity (cross-check). */
     double functional_sparsity = 0.0;
 
+    /** Requests fused into this trace (1 = single query). */
+    int batch_size = 1;
+
     /** Total GEMM MACs of the trace. */
     double totalMacs() const;
+
+    /**
+     * Serving cost key: total active rows summed over layers
+     * (rowsIn).  Proportional to the retained-token footprint, so the
+     * concentration-aware scheduler can group requests whose SEC
+     * schedules leave similar work behind.
+     */
+    int64_t retainedRows() const;
 };
 
 /**
@@ -147,6 +183,32 @@ WorkloadTrace buildTrace(const ModelProfile &model,
 /** Dense trace (no method, no functional data needed). */
 WorkloadTrace buildDenseTrace(const ModelProfile &model,
                               const DatasetProfile &dataset);
+
+/**
+ * Fuse per-request traces into one multi-query batch trace.
+ *
+ * All parts must share the backbone geometry (hidden, heads,
+ * head_dim, ffn_inner, layer count); token counts, methods and
+ * datasets may differ.  Per layer:
+ *
+ *  - Shared-weight GEMMs (QKV, O-proj, FFN gate/up/down) merge into
+ *    one event with the row counts concatenated (m = sum m_i), so
+ *    the accelerator streams each weight panel once per fused m-tile
+ *    sweep instead of once per request.  The unique-vector fractions
+ *    are row-weighted so the fused MAC total equals the sum of the
+ *    parts'.
+ *  - Attention GEMMs (QK^T, PV) stay one event per request: a query
+ *    only attends within its own token rows.
+ *  - LayerEvents::queries records the per-request spans so the SFU
+ *    softmax and SEC sorter models cost sum(r_i^2), not (sum r_i)^2.
+ *
+ * A single-part fusion returns the input verbatim, which makes the
+ * batch-of-1 serving path bit-identical to the unbatched simulation.
+ * Parts may themselves be fused traces: re-fusion flattens their
+ * per-request spans and attention events, so incrementally grown
+ * batches behave like one flat fusion.
+ */
+WorkloadTrace fuseTraces(const std::vector<const WorkloadTrace *> &parts);
 
 } // namespace focus
 

@@ -112,6 +112,12 @@ ModelProfile modelProfile(const std::string &name);
 /** All video dataset names in paper order. */
 std::vector<std::string> videoDatasetNames();
 
+/**
+ * Paper video roster plus the long-video extension (MLVU-Long, 2x
+ * the paper's frame count); the serving-mix roster.
+ */
+std::vector<std::string> extendedVideoDatasetNames();
+
 /** All image dataset names in paper order (Tbl. V). */
 std::vector<std::string> imageDatasetNames();
 
