@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/rng.h"
@@ -125,6 +126,59 @@ BM_GemmInt8(benchmark::State &state)
 BENCHMARK(BM_GemmInt8)->Arg(64)->Arg(128);
 
 void
+BM_Softmax(benchmark::State &state)
+{
+    // Row-wise softmax on an (n x n) score matrix — the attention
+    // shape that dominates the post-GEMM fig9a profile.  Runs the
+    // ambient math backend (vector by default in benches; see main).
+    const int64_t n = state.range(0);
+    Rng rng(7);
+    const Tensor base = randomTensor(rng, n, n);
+    for (auto _ : state) {
+        Tensor t = base;
+        softmaxRows(t);
+        benchmark::DoNotOptimize(t.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_Softmax)->Arg(64)->Arg(256);
+
+void
+BM_SoftmaxExact(benchmark::State &state)
+{
+    // A/B reference: the historical libm scalar path through the
+    // same dispatch FOCUS_MATH_BACKEND drives.
+    const int64_t n = state.range(0);
+    Rng rng(7);
+    const Tensor base = randomTensor(rng, n, n);
+    const kernels::MathBackend prev = kernels::activeMathBackend();
+    kernels::setMathBackend(kernels::MathBackend::Exact);
+    for (auto _ : state) {
+        Tensor t = base;
+        softmaxRows(t);
+        benchmark::DoNotOptimize(t.data());
+    }
+    kernels::setMathBackend(prev);
+    state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_SoftmaxExact)->Arg(64)->Arg(256);
+
+void
+BM_Silu(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(8);
+    const Tensor base = randomTensor(rng, n, n);
+    for (auto _ : state) {
+        Tensor t = base;
+        siluInPlace(t);
+        benchmark::DoNotOptimize(t.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_Silu)->Arg(256);
+
+void
 BM_CosineSimilarity(benchmark::State &state)
 {
     const int64_t n = state.range(0);
@@ -161,6 +215,35 @@ BM_SicGather(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * frames * h * w * 2);
 }
 BENCHMARK(BM_SicGather);
+
+void
+BM_SicGatherExact(benchmark::State &state)
+{
+    // A/B reference for the similarity-gather kernel: the historical
+    // scalar cosine path.
+    const int frames = 8, h = 10, w = 10;
+    Rng rng(4);
+    std::vector<TokenCoord> coords;
+    for (int f = 0; f < frames; ++f) {
+        for (int r = 0; r < h; ++r) {
+            for (int c = 0; c < w; ++c) {
+                coords.push_back(TokenCoord{f, r, c});
+            }
+        }
+    }
+    const Tensor base = randomTensor(rng, frames * h * w, 64);
+    SicConfig cfg;
+    const kernels::MathBackend prev = kernels::activeMathBackend();
+    kernels::setMathBackend(kernels::MathBackend::Exact);
+    for (auto _ : state) {
+        Tensor x = base;
+        const SicResult res = sicGather(x, coords, cfg);
+        benchmark::DoNotOptimize(res.unique_vectors);
+    }
+    kernels::setMathBackend(prev);
+    state.SetItemsProcessed(state.iterations() * frames * h * w * 2);
+}
+BENCHMARK(BM_SicGatherExact);
 
 void
 BM_StreamingTopK(benchmark::State &state)
@@ -229,7 +312,9 @@ BENCHMARK(BM_TimeGemmModel);
 // here (the blocked GEMM would otherwise fan M blocks out and the
 // per-kernel numbers would depend on the host's core count).
 // --threads=N opts back in to a wider pool; the GEMM backend follows
-// FOCUS_GEMM_BACKEND as everywhere else.
+// FOCUS_GEMM_BACKEND as everywhere else.  The SFU math backend
+// defaults to vector in benches (FOCUS_MATH_BACKEND overrides) — the
+// exact libm path is the ctest default and has its own *Exact rows.
 int
 main(int argc, char **argv)
 {
@@ -251,9 +336,14 @@ main(int argc, char **argv)
     }
     argc = out;
     ThreadPool::setGlobalThreads(threads);
-    std::printf("# pool threads: %d, gemm backend: %s\n",
+    if (std::getenv("FOCUS_MATH_BACKEND") == nullptr) {
+        kernels::setMathBackend(kernels::MathBackend::Vector);
+    }
+    std::printf("# pool threads: %d, gemm backend: %s, "
+                "math backend: %s\n",
                 ThreadPool::global().threads(),
-                kernels::backendName(kernels::activeBackend()));
+                kernels::backendName(kernels::activeBackend()),
+                kernels::mathBackendName(kernels::activeMathBackend()));
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
         return 1;

@@ -10,6 +10,10 @@
  * grid dispatches cells on; defaults are sized so the full bench
  * suite completes in minutes.  Results are deterministic in the seed
  * and bit-identical at every thread count.
+ *
+ * Benches run the SFU vector math backend by default (ctest runs
+ * exact); set FOCUS_MATH_BACKEND=exact to reproduce the historical
+ * libm arithmetic bit-for-bit (see tensor/kernels.h).
  */
 
 #ifndef FOCUS_BENCH_BENCH_UTIL_H
@@ -25,6 +29,7 @@
 #include "eval/evaluator.h"
 #include "runtime/thread_pool.h"
 #include "sim/gpu_model.h"
+#include "tensor/kernels.h"
 
 namespace focus
 {
@@ -96,6 +101,11 @@ benchOptions(int argc, char **argv, int fallback_samples)
     if (bo.threads > 0) {
         ThreadPool::setGlobalThreads(bo.threads);
     }
+    // Benches default the SFU tier to the vector backend (the perf
+    // configuration); an explicit FOCUS_MATH_BACKEND always wins.
+    if (std::getenv("FOCUS_MATH_BACKEND") == nullptr) {
+        kernels::setMathBackend(kernels::MathBackend::Vector);
+    }
     return bo;
 }
 
@@ -130,9 +140,10 @@ benchBanner(const char *what, const BenchOptions &bo)
 {
     std::printf("=== %s ===\n", what);
     std::printf("(synthetic reproduction; %d samples per cell; "
-                "%d threads; see EXPERIMENTS.md for "
+                "%d threads; %s math; see EXPERIMENTS.md for "
                 "paper-vs-measured)\n\n",
-                bo.samples, ThreadPool::global().threads());
+                bo.samples, ThreadPool::global().threads(),
+                kernels::mathBackendName(kernels::activeMathBackend()));
 }
 
 } // namespace focus

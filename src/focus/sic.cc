@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 
 namespace focus
@@ -111,23 +112,29 @@ sicGather(Tensor &x, const std::vector<TokenCoord> &coords,
 
     std::vector<float> orig;    // original tile slice values
     std::vector<float> norms;   // per-row L2 of the original slice
+    std::vector<int64_t> cand;  // candidate tile-local rows, delta order
+    std::vector<float> sims;    // their similarities vs the key row
+    cand.reserve(deltas.size());
+    sims.resize(deltas.size());
 
     for (int64_t tile0 = 0; tile0 < rows; tile0 += m_tile) {
         const int64_t tile_rows = std::min(m_tile, rows - tile0);
         for (int64_t s = 0; s < slices; ++s) {
             const int64_t c0 = s * vec;
 
-            // Snapshot originals (the layouter buffer holds raw GEMM
-            // outputs) and precompute L2 norms, as the hardware does.
+            // Pack the tile slice once (the layouter buffer holds raw
+            // GEMM outputs) and precompute L2 norms, as the hardware
+            // does; the matcher below streams candidates against this
+            // packed copy.
             orig.resize(static_cast<size_t>(tile_rows * vec));
             norms.resize(static_cast<size_t>(tile_rows));
             for (int64_t i = 0; i < tile_rows; ++i) {
                 const float *src = x.row(tile0 + i) + c0;
                 std::copy(src, src + vec,
                           orig.begin() + i * vec);
-                norms[static_cast<size_t>(i)] =
-                    l2Norm(src, vec);
             }
+            kernels::l2NormRowsF32(orig.data(), vec, tile_rows, vec,
+                                   norms.data());
 
             SliceMap map;
             map.tile_row0 = tile0;
@@ -147,8 +154,7 @@ sicGather(Tensor &x, const std::vector<TokenCoord> &coords,
                 float best_sim = cfg.threshold;
 
                 if (key.f >= 0) {
-                    const float *kv = orig.data() + i * vec;
-                    const float kn = norms[static_cast<size_t>(i)];
+                    cand.clear();
                     for (const TokenCoord &d : deltas) {
                         const TokenCoord nb{key.f - d.f, key.r - d.r,
                                             key.c - d.c};
@@ -158,13 +164,23 @@ sicGather(Tensor &x, const std::vector<TokenCoord> &coords,
                         if (gj < 0 || gj >= gi || gj < tile0) {
                             continue;
                         }
-                        const int64_t j = gj - tile0;
-                        const float sim = cosineSimilarityPrenorm(
-                            kv, kn, orig.data() + j * vec,
-                            norms[static_cast<size_t>(j)], vec);
-                        if (sim >= best_sim) {
-                            best_sim = sim;
-                            best_j = j;
+                        cand.push_back(gj - tile0);
+                    }
+                    // Batched similarity kernel over the packed tile
+                    // slice; the selection scan below keeps the
+                    // historical delta order and >= tie rule, so
+                    // match decisions are backend-independent up to
+                    // the vector backend's rounding.
+                    kernels::simGatherF32(
+                        orig.data() + i * vec,
+                        norms[static_cast<size_t>(i)], orig.data(),
+                        vec, norms.data(), cand.data(),
+                        static_cast<int64_t>(cand.size()), vec,
+                        sims.data());
+                    for (size_t c = 0; c < cand.size(); ++c) {
+                        if (sims[c] >= best_sim) {
+                            best_sim = sims[c];
+                            best_j = cand[c];
                         }
                     }
                 }

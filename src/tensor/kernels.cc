@@ -3,14 +3,18 @@
 #include <algorithm>
 #include <atomic>
 #include <cinttypes>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "common/half.h"
 #include "common/logging.h"
 #include "runtime/thread_pool.h"
+#include "tensor/ops.h"
 
 // Portable restrict qualifier: the microkernels rely on it so the
 // compiler can vectorize the packed-panel loops without alias checks.
@@ -75,6 +79,24 @@ backendFromEnv()
 }
 
 std::atomic<GemmBackend> g_backend{backendFromEnv()};
+
+MathBackend
+mathBackendFromEnv()
+{
+    const char *env = std::getenv("FOCUS_MATH_BACKEND");
+    if (env == nullptr || *env == '\0') {
+        return MathBackend::Exact;
+    }
+    MathBackend b;
+    if (!parseMathBackend(env, b)) {
+        panic("FOCUS_MATH_BACKEND: unknown backend '%s' "
+              "(expected exact|vector)",
+              env);
+    }
+    return b;
+}
+
+std::atomic<MathBackend> g_math_backend{mathBackendFromEnv()};
 
 // -----------------------------------------------------------------
 // Packing
@@ -347,6 +369,274 @@ dot1(const float *FOCUS_RESTRICT q, const float *FOCUS_RESTRICT b,
     return (l[0] + l[1]) + (l[2] + l[3]);
 }
 
+// -----------------------------------------------------------------
+// SFU tier internals
+//
+// The vector backend's transcendental core is a branch-free
+// polynomial expf (Cephes 32-bit constants): clamp to the finite
+// range, split x = n*ln2 + r with round-to-nearest via the 1.5*2^23
+// trick, evaluate a degree-6 polynomial in r, scale by 2^n through
+// the exponent bits.  NaN inputs survive the clamp via the final
+// select; inputs below the clamp range (including -inf) flush to
+// exactly 0 — see the comment at the flush blend — and +inf
+// saturates to exp(hi), large but finite.  The helper is a plain
+// inline function so each target_clones caller inlines it and
+// vectorizes it with its own ISA (blends for the selects, cvtps2dq
+// for the exponent cast).
+// -----------------------------------------------------------------
+
+inline float
+expfPoly(float x)
+{
+    constexpr float hi = 88.0f; // exp(88) ~ 1.65e38 < FLT_MAX
+    // Low clamp: with n >= round(-86*log2e) = -124 the final p*2^n
+    // stays a *normal* float even for p ~ 0.7 — the multiply must
+    // never produce a denormal, or every masked softmax entry would
+    // pay a floating-point assist before the flush-to-zero blend
+    // discards it.
+    constexpr float lo = -86.0f;
+    float xc = x > lo ? x : lo;  // NaN -> lo (cast below stays defined)
+    xc = xc > hi ? hi : xc;
+    const float z = xc * 1.44269504088896341f; // x / ln2
+    const float t = z + 12582912.0f;           // 1.5*2^23 rounding trick
+    const float n = t - 12582912.0f;
+    float r = xc - n * 0.693359375f;   // ln2 high part
+    r -= n * -2.12194440e-4f;          // ln2 low part
+    float p = 1.9875691500e-4f;
+    p = p * r + 1.3981999507e-3f;
+    p = p * r + 8.3334519073e-3f;
+    p = p * r + 4.1665795894e-2f;
+    p = p * r + 1.6666665459e-1f;
+    p = p * r + 5.0000001201e-1f;
+    p = p * r * r + r + 1.0f;
+    const int32_t bits = (static_cast<int32_t>(n) + 127) << 23;
+    float scale;
+    std::memcpy(&scale, &bits, sizeof(scale));
+    float out = p * scale;
+    // Flush-to-zero under the clamp range, like a hardware SFU (and
+    // like libm, which underflows to 0 well before -87).  Without
+    // this, softmax rows with -1e30 causal masks would emit ~1e-38
+    // probabilities whose products are denormal — and denormal
+    // operands stall the downstream P*V GEMM by two orders of
+    // magnitude.
+    out = x < lo ? 0.0f : out;
+    return x != x ? x : out; // propagate NaN
+}
+
+FOCUS_KERNEL_CLONES void
+expRowVector(float *FOCUS_RESTRICT row, int64_t n)
+{
+    for (int64_t j = 0; j < n; ++j) {
+        row[j] = expfPoly(row[j]);
+    }
+}
+
+/** Fused max/exp/normalize, 8-lane reductions (vector backend). */
+FOCUS_KERNEL_CLONES void
+softmaxRowVector(float *FOCUS_RESTRICT row, int64_t n)
+{
+    constexpr float ninf = -std::numeric_limits<float>::infinity();
+    float m[8] = {ninf, ninf, ninf, ninf, ninf, ninf, ninf, ninf};
+    int64_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+        for (int64_t e = 0; e < 8; ++e) {
+            const float v = row[j + e];
+            m[e] = v > m[e] ? v : m[e];
+        }
+    }
+    for (; j < n; ++j) {
+        m[0] = row[j] > m[0] ? row[j] : m[0];
+    }
+    float mx = m[0];
+    for (int64_t e = 1; e < 8; ++e) {
+        mx = m[e] > mx ? m[e] : mx;
+    }
+    float s[8] = {};
+    j = 0;
+    for (; j + 8 <= n; j += 8) {
+        for (int64_t e = 0; e < 8; ++e) {
+            const float v = expfPoly(row[j + e] - mx);
+            row[j + e] = v;
+            s[e] += v;
+        }
+    }
+    for (; j < n; ++j) {
+        const float v = expfPoly(row[j] - mx);
+        row[j] = v;
+        s[0] += v;
+    }
+    const float sum =
+        ((s[0] + s[1]) + (s[2] + s[3])) + ((s[4] + s[5]) + (s[6] + s[7]));
+    const float inv = 1.0f / sum;
+    for (j = 0; j < n; ++j) {
+        row[j] *= inv;
+    }
+}
+
+/**
+ * The historical tensor/ops.cc softmax row loop, verbatim and
+ * deliberately NOT clone-versioned: it must keep producing the exact
+ * libm-based bits the pre-SFU-tier code produced.
+ */
+void
+softmaxRowExact(float *row, int64_t n)
+{
+    float mx = row[0];
+    for (int64_t j = 1; j < n; ++j) {
+        mx = std::max(mx, row[j]);
+    }
+    float sum = 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+        row[j] = std::exp(row[j] - mx);
+        sum += row[j];
+    }
+    const float inv = 1.0f / sum;
+    for (int64_t j = 0; j < n; ++j) {
+        row[j] *= inv;
+    }
+}
+
+FOCUS_KERNEL_CLONES float
+expBiasedSumVector(float *FOCUS_RESTRICT x, int64_t n, float bias)
+{
+    float s[8] = {};
+    int64_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+        for (int64_t e = 0; e < 8; ++e) {
+            const float v = expfPoly(x[j + e] - bias);
+            x[j + e] = v;
+            s[e] += v;
+        }
+    }
+    for (; j < n; ++j) {
+        const float v = expfPoly(x[j] - bias);
+        x[j] = v;
+        s[0] += v;
+    }
+    return ((s[0] + s[1]) + (s[2] + s[3])) +
+        ((s[4] + s[5]) + (s[6] + s[7]));
+}
+
+FOCUS_KERNEL_CLONES void
+siluVector(float *FOCUS_RESTRICT x, int64_t n)
+{
+    for (int64_t i = 0; i < n; ++i) {
+        x[i] = x[i] / (1.0f + expfPoly(-x[i]));
+    }
+}
+
+FOCUS_KERNEL_CLONES void
+geluVector(float *FOCUS_RESTRICT x, int64_t n)
+{
+    constexpr float c = 0.7978845608f; // sqrt(2/pi)
+    for (int64_t i = 0; i < n; ++i) {
+        const float v = x[i];
+        const float y = c * (v + 0.044715f * v * v * v);
+        // tanh(y) = 1 - 2 / (exp(2y) + 1); exact in infinite
+        // precision, so accuracy tracks the polynomial expf.
+        const float th = 1.0f - 2.0f / (expfPoly(2.0f * y) + 1.0f);
+        x[i] = 0.5f * v * (1.0f + th);
+    }
+}
+
+FOCUS_KERNEL_CLONES void
+rmsNormRowVector(float *FOCUS_RESTRICT row, int64_t n,
+                 const float *FOCUS_RESTRICT gain, float eps)
+{
+    float s[8] = {};
+    int64_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+        for (int64_t e = 0; e < 8; ++e) {
+            s[e] += row[j + e] * row[j + e];
+        }
+    }
+    for (; j < n; ++j) {
+        s[0] += row[j] * row[j];
+    }
+    float ms = ((s[0] + s[1]) + (s[2] + s[3])) +
+        ((s[4] + s[5]) + (s[6] + s[7]));
+    ms /= static_cast<float>(n);
+    const float inv = 1.0f / std::sqrt(ms + eps);
+    if (gain != nullptr) {
+        for (j = 0; j < n; ++j) {
+            row[j] *= inv * gain[j];
+        }
+    } else {
+        for (j = 0; j < n; ++j) {
+            row[j] *= inv;
+        }
+    }
+}
+
+FOCUS_KERNEL_CLONES float
+l2NormVector(const float *FOCUS_RESTRICT v, int64_t n)
+{
+    float s[8] = {};
+    int64_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+        for (int64_t e = 0; e < 8; ++e) {
+            s[e] += v[j + e] * v[j + e];
+        }
+    }
+    for (; j < n; ++j) {
+        s[0] += v[j] * v[j];
+    }
+    return std::sqrt(((s[0] + s[1]) + (s[2] + s[3])) +
+                     ((s[4] + s[5]) + (s[6] + s[7])));
+}
+
+/**
+ * Candidate dot kernel for the similarity gather.  Unlike the
+ * GEMM-tier dot primitives this uses an 8-wide lane split: the
+ * vector backend carries no bit-exactness contract, and the 8-lane
+ * shape maps 1:1 onto a ymm accumulator (a pinned 4-lane split — or
+ * a multi-candidate variant — forces GCC 12 into permute-heavy
+ * reductions that lose to scalar code).
+ */
+FOCUS_KERNEL_CLONES float
+simDot1(const float *FOCUS_RESTRICT q, const float *FOCUS_RESTRICT b,
+        int64_t n)
+{
+    float l[8] = {};
+    int64_t p = 0;
+    for (; p + 8 <= n; p += 8) {
+        for (int64_t e = 0; e < 8; ++e) {
+            l[e] += q[p + e] * b[p + e];
+        }
+    }
+    for (; p < n; ++p) {
+        l[0] += q[p] * b[p];
+    }
+    return ((l[0] + l[1]) + (l[2] + l[3])) +
+        ((l[4] + l[5]) + (l[6] + l[7]));
+}
+
+/**
+ * Fan independent rows of a (rows x cols) block across the pool when
+ * the block is large enough to amortize the dispatch.  Each task owns
+ * a disjoint row range and each row's result depends only on its own
+ * data, so output is bit-identical at every thread count (a call
+ * from inside a pool task executes inline on that worker).
+ */
+template <typename RowRangeFn>
+void
+forRowRanges(int64_t rows, int64_t cols, const RowRangeFn &fn)
+{
+    constexpr int64_t kRowsPerTask = 16;
+    constexpr int64_t kParallelElemCut = 1 << 14;
+    ThreadPool &pool = ThreadPool::global();
+    const int64_t tasks = (rows + kRowsPerTask - 1) / kRowsPerTask;
+    if (tasks > 1 && pool.threads() > 1 &&
+        rows * cols >= kParallelElemCut) {
+        pool.parallelFor(tasks, [&](int64_t ti) {
+            const int64_t i0 = ti * kRowsPerTask;
+            fn(i0, std::min(rows, i0 + kRowsPerTask));
+        });
+    } else {
+        fn(0, rows);
+    }
+}
+
 } // namespace
 
 // -----------------------------------------------------------------
@@ -410,6 +700,222 @@ setBackend(GemmBackend b)
               "built without FOCUS_WITH_BLAS");
     }
     g_backend.store(b, std::memory_order_relaxed);
+}
+
+const char *
+mathBackendName(MathBackend b)
+{
+    switch (b) {
+      case MathBackend::Exact:
+        return "exact";
+      case MathBackend::Vector:
+        return "vector";
+    }
+    return "?";
+}
+
+bool
+parseMathBackend(const char *name, MathBackend &out)
+{
+    const std::string s(name != nullptr ? name : "");
+    if (s == "exact") {
+        out = MathBackend::Exact;
+        return true;
+    }
+    if (s == "vector") {
+        out = MathBackend::Vector;
+        return true;
+    }
+    return false;
+}
+
+MathBackend
+activeMathBackend()
+{
+    return g_math_backend.load(std::memory_order_relaxed);
+}
+
+void
+setMathBackend(MathBackend b)
+{
+    g_math_backend.store(b, std::memory_order_relaxed);
+}
+
+// -----------------------------------------------------------------
+// SFU tier entry points
+// -----------------------------------------------------------------
+
+void
+expRowsF32(int64_t rows, int64_t cols, float *x, int64_t ld)
+{
+    if (rows <= 0 || cols <= 0) {
+        return;
+    }
+    if (activeMathBackend() == MathBackend::Vector) {
+        forRowRanges(rows, cols, [&](int64_t i0, int64_t i1) {
+            for (int64_t i = i0; i < i1; ++i) {
+                expRowVector(x + i * ld, cols);
+            }
+        });
+        return;
+    }
+    forRowRanges(rows, cols, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+            float *row = x + i * ld;
+            for (int64_t j = 0; j < cols; ++j) {
+                row[j] = std::exp(row[j]);
+            }
+        }
+    });
+}
+
+void
+softmaxRowsF32(int64_t rows, int64_t cols, float *x, int64_t ld)
+{
+    if (rows <= 0 || cols <= 0) {
+        // Zero-column rows carry no probability mass: defined no-op,
+        // matching the k=0 degenerate-shape rule of the GEMM tier.
+        return;
+    }
+    if (activeMathBackend() == MathBackend::Vector) {
+        forRowRanges(rows, cols, [&](int64_t i0, int64_t i1) {
+            for (int64_t i = i0; i < i1; ++i) {
+                softmaxRowVector(x + i * ld, cols);
+            }
+        });
+        return;
+    }
+    forRowRanges(rows, cols, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+            softmaxRowExact(x + i * ld, cols);
+        }
+    });
+}
+
+float
+expBiasedSumF32(float *x, int64_t n, float bias)
+{
+    if (n <= 0) {
+        return 0.0f;
+    }
+    if (activeMathBackend() == MathBackend::Vector) {
+        return expBiasedSumVector(x, n, bias);
+    }
+    // Historical readout-logit loop: serial std::exp, serial sum.
+    float sum = 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+        x[j] = std::exp(x[j] - bias);
+        sum += x[j];
+    }
+    return sum;
+}
+
+void
+siluF32(float *x, int64_t n)
+{
+    if (n <= 0) {
+        return;
+    }
+    if (activeMathBackend() == MathBackend::Vector) {
+        siluVector(x, n);
+        return;
+    }
+    for (int64_t i = 0; i < n; ++i) {
+        x[i] = x[i] / (1.0f + std::exp(-x[i]));
+    }
+}
+
+void
+geluF32(float *x, int64_t n)
+{
+    if (n <= 0) {
+        return;
+    }
+    if (activeMathBackend() == MathBackend::Vector) {
+        geluVector(x, n);
+        return;
+    }
+    constexpr float c = 0.7978845608f; // sqrt(2/pi)
+    for (int64_t i = 0; i < n; ++i) {
+        const float v = x[i];
+        x[i] = 0.5f * v *
+            (1.0f + std::tanh(c * (v + 0.044715f * v * v * v)));
+    }
+}
+
+void
+rmsNormRowsF32(int64_t rows, int64_t cols, float *x, int64_t ld,
+               const float *gain, float eps)
+{
+    if (rows <= 0 || cols <= 0) {
+        // A zero-width row has no mean square: defined no-op instead
+        // of the historical 0/0 NaN fill.
+        return;
+    }
+    if (activeMathBackend() == MathBackend::Vector) {
+        forRowRanges(rows, cols, [&](int64_t i0, int64_t i1) {
+            for (int64_t i = i0; i < i1; ++i) {
+                rmsNormRowVector(x + i * ld, cols, gain, eps);
+            }
+        });
+        return;
+    }
+    forRowRanges(rows, cols, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+            float *row = x + i * ld;
+            float ms = 0.0f;
+            for (int64_t j = 0; j < cols; ++j) {
+                ms += row[j] * row[j];
+            }
+            ms /= static_cast<float>(cols);
+            const float inv = 1.0f / std::sqrt(ms + eps);
+            for (int64_t j = 0; j < cols; ++j) {
+                row[j] *= inv * (gain != nullptr ? gain[j] : 1.0f);
+            }
+        }
+    });
+}
+
+void
+l2NormRowsF32(const float *x, int64_t ld, int64_t rows, int64_t n,
+              float *norms)
+{
+    if (rows <= 0) {
+        return;
+    }
+    if (activeMathBackend() == MathBackend::Vector) {
+        for (int64_t i = 0; i < rows; ++i) {
+            norms[i] = l2NormVector(x + i * ld, n);
+        }
+        return;
+    }
+    for (int64_t i = 0; i < rows; ++i) {
+        norms[i] = l2Norm(x + i * ld, n);
+    }
+}
+
+void
+simGatherF32(const float *key, float key_norm, const float *pack,
+             int64_t ld, const float *norms, const int64_t *cand,
+             int64_t count, int64_t n, float *sims)
+{
+    if (count <= 0) {
+        return;
+    }
+    if (activeMathBackend() != MathBackend::Vector) {
+        for (int64_t c = 0; c < count; ++c) {
+            sims[c] = cosineSimilarityPrenorm(
+                key, key_norm, pack + cand[c] * ld, norms[cand[c]], n);
+        }
+        return;
+    }
+    constexpr float tiny = 1e-12f;
+    for (int64_t c = 0; c < count; ++c) {
+        const float nb = norms[cand[c]];
+        sims[c] = (key_norm < tiny || nb < tiny)
+            ? 0.0f
+            : simDot1(key, pack + cand[c] * ld, n) / (key_norm * nb);
+    }
 }
 
 // -----------------------------------------------------------------

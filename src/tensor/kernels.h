@@ -1,11 +1,14 @@
 /**
  * @file
- * Blocked GEMM kernel layer: cache-blocked, register-tiled portable
- * microkernels behind a runtime backend dispatch.
+ * Blocked GEMM kernel layer and SFU/vector-math tier: cache-blocked,
+ * register-tiled portable microkernels behind runtime backend
+ * dispatches.
  *
  * This is the compute substrate under `tensor/ops.h` (`gemm`,
- * `gemmTransB`), `tensor/quant.h` (`gemmInt8`) and the attention inner
- * loops of `vlm/model.cc`.  Three backends exist:
+ * `gemmTransB`, softmax, RMSNorm, activations), `tensor/quant.h`
+ * (`gemmInt8`), the attention inner loops of `vlm/model.cc`, and the
+ * SIC similarity gather of `focus/sic.cc`.  For GEMM, three backends
+ * exist:
  *
  *  - **Portable** (default): B-panel packing + 4xNR register-tiled
  *    microkernel, M-blocks fanned across the `runtime/thread_pool.h`
@@ -25,6 +28,24 @@
  * attention kernels (`dotRowsScaled`, the P*V product) always run
  * portable — they are part of the deterministic functional model and
  * have no BLAS equivalent with the required accumulation order.
+ *
+ * The SFU tier (softmax/exp, SiLU/GELU, RMSNorm, the SIC similarity
+ * gather) has its own two-way dispatch, `FOCUS_MATH_BACKEND`:
+ *
+ *  - **exact** (default): the historical scalar loops, verbatim —
+ *    `std::exp`/`std::tanh` through libm, serial per-row
+ *    accumulation, the ops.h 4-lane `dot`.  Bit-identical to the
+ *    pre-SFU-tier code at every thread count; ctest runs this.
+ *  - **vector**: branch-free polynomial `expf` (Cephes-style
+ *    degree-6, relative error ~2 ulp over the clamped range) and
+ *    multi-lane reductions under the same `target_clones` scheme as
+ *    the GEMM microkernels.  Not bit-exact vs `exact`; agreement is
+ *    enforced to float-rounding scale by `tests/test_kernels.cc`.
+ *    Benches default to this backend.
+ *
+ * Both SFU backends are deterministic within a build: per-row work is
+ * data-parallel with no cross-row reduction, so results are
+ * bit-identical at every thread count (`SfuKernels.*` tests).
  */
 
 #ifndef FOCUS_TENSOR_KERNELS_H
@@ -66,6 +87,111 @@ GemmBackend activeBackend();
 
 /** Override the active backend (panics on Blas when unavailable). */
 void setBackend(GemmBackend b);
+
+// ---------------------------------------------------------------
+// SFU / vector-math tier (softmax, exp, activations, RMSNorm, SIC
+// similarity gather).  See the file comment for backend semantics.
+// ---------------------------------------------------------------
+
+/** Math backend for the SFU tier. */
+enum class MathBackend
+{
+    Exact, ///< historical scalar loops (libm), bit-identical baseline
+    Vector ///< polynomial expf + multi-lane loops, tolerance-validated
+};
+
+/** Name for logging / bench banners ("exact" | "vector"). */
+const char *mathBackendName(MathBackend b);
+
+/**
+ * Parse a math-backend name ("exact", "vector"); returns false on an
+ * unknown name.
+ */
+bool parseMathBackend(const char *name, MathBackend &out);
+
+/**
+ * Currently active math backend.  Initialized once from the
+ * FOCUS_MATH_BACKEND environment variable (default Exact; panics on
+ * an unknown name).
+ */
+MathBackend activeMathBackend();
+
+/** Override the active math backend. */
+void setMathBackend(MathBackend b);
+
+/**
+ * x[i][j] = exp(x[i][j]) over a (rows x cols) row-major block with
+ * row stride @p ld.  Exact: `std::exp` per element.  Vector:
+ * polynomial expf — NaN propagates, inputs below the clamp range
+ * (about -86) flush to exactly 0 like libm's underflow, and +inf
+ * saturates to exp(88) ~ 1.7e38 (large but finite).  Rows fan across
+ * the thread pool when the block is large enough; per-row work is
+ * independent, so results are bit-identical at every thread count.
+ */
+void expRowsF32(int64_t rows, int64_t cols, float *x, int64_t ld);
+
+/**
+ * Fused row-wise numerically-stable softmax over a (rows x cols)
+ * row-major block with row stride @p ld: per row, subtract the max,
+ * exponentiate, and scale by the reciprocal of the sum.  Rows of
+ * width 0 (or empty blocks) are a no-op.  The exact backend
+ * reproduces the historical `tensor/ops.cc` loop bit-for-bit
+ * (including its `1/sum` multiply); the vector backend runs the
+ * polynomial expf with 8-lane max/sum reductions.  All-NaN /
+ * all-(-inf) rows propagate NaN on both backends.  Row-parallel and
+ * thread-count invariant like expRowsF32.
+ */
+void softmaxRowsF32(int64_t rows, int64_t cols, float *x, int64_t ld);
+
+/**
+ * x[j] = exp(x[j] - bias) for j in [0, n); returns the sum of the
+ * results accumulated in ascending-j order (the readout logit path of
+ * `vlm/model.cc`).  Exact: serial `std::exp` + serial float sum —
+ * bit-identical to the historical in-line loop.  Vector: polynomial
+ * expf + 8-lane sum.
+ */
+float expBiasedSumF32(float *x, int64_t n, float bias);
+
+/** x[i] = x[i] * sigmoid(x[i]) (SiLU/swish), element-wise over n. */
+void siluF32(float *x, int64_t n);
+
+/** GELU tanh approximation, element-wise over n. */
+void geluF32(float *x, int64_t n);
+
+/**
+ * RMSNorm over each row of a (rows x cols) block with row stride
+ * @p ld: row /= sqrt(mean(row^2) + eps), then scaled by @p gain
+ * (length cols) when non-null.  cols == 0 is a no-op.  Exact
+ * reproduces the historical serial loop; vector uses 8-lane
+ * sum-of-squares.
+ */
+void rmsNormRowsF32(int64_t rows, int64_t cols, float *x, int64_t ld,
+                    const float *gain, float eps);
+
+/**
+ * norms[i] = l2 norm of row i of a (rows x n) block with row stride
+ * @p ld.  Exact matches ops.h `l2Norm` per row (4-lane dot order);
+ * vector uses an 8-lane sum of squares.
+ */
+void l2NormRowsF32(const float *x, int64_t ld, int64_t rows, int64_t n,
+                   float *norms);
+
+/**
+ * Blocked cosine-similarity gather (the SIC matcher inner loop):
+ * sims[c] = cosine(key, pack + cand[c]*ld) for c in [0, count),
+ * using precomputed norms (@p key_norm for the key, norms[cand[c]]
+ * for candidate c — the per-tile L2 buffer the hardware matcher
+ * keeps).  Near-zero norms yield similarity 0, as in ops.h
+ * `cosineSimilarityPrenorm`.  The reference rows are packed once per
+ * tile slice by the caller; candidates stream through an 8-lane
+ * register-tiled dot kernel on the vector backend (one candidate per
+ * call — see the simDot1 comment for why wider tiling loses), and
+ * through the historical `cosineSimilarityPrenorm` scalar path
+ * (bit-identical) on the exact backend.
+ */
+void simGatherF32(const float *key, float key_norm, const float *pack,
+                  int64_t ld, const float *norms, const int64_t *cand,
+                  int64_t count, int64_t n, float *sims);
 
 // ---------------------------------------------------------------
 // Blocking geometry (exposed for tests and docs/KERNELS.md).

@@ -84,28 +84,19 @@ softmaxRows(Tensor &t)
     if (t.rank() != 2) {
         panic("softmaxRows: rank-2 required");
     }
-    const int64_t n = t.cols();
-    for (int64_t i = 0; i < t.rows(); ++i) {
-        float *row = t.row(i);
-        float mx = row[0];
-        for (int64_t j = 1; j < n; ++j) {
-            mx = std::max(mx, row[j]);
-        }
-        float sum = 0.0f;
-        for (int64_t j = 0; j < n; ++j) {
-            row[j] = std::exp(row[j] - mx);
-            sum += row[j];
-        }
-        const float inv = 1.0f / sum;
-        for (int64_t j = 0; j < n; ++j) {
-            row[j] *= inv;
-        }
-    }
+    // The kernel defines zero-column (and zero-row) tensors as a
+    // no-op — the historical loop read row[0] of an empty row.
+    kernels::softmaxRowsF32(t.rows(), t.cols(), t.data(), t.cols());
 }
 
 void
 softmaxRowsMasked(Tensor &t, const Tensor &mask)
 {
+    // Rank is validated before the mask is applied so a bad call
+    // panics without half-mutating t.
+    if (t.rank() != 2) {
+        panic("softmaxRowsMasked: rank-2 required");
+    }
     if (!t.sameShape(mask)) {
         panic("softmaxRowsMasked: shape mismatch");
     }
@@ -126,40 +117,29 @@ rmsNormRows(Tensor &t, const Tensor &gain, float eps)
         panic("rmsNormRows: rank-2 required");
     }
     const int64_t n = t.cols();
-    const bool has_gain = gain.numel() == n;
-    for (int64_t i = 0; i < t.rows(); ++i) {
-        float *row = t.row(i);
-        float ms = 0.0f;
-        for (int64_t j = 0; j < n; ++j) {
-            ms += row[j] * row[j];
-        }
-        ms /= static_cast<float>(n);
-        const float inv = 1.0f / std::sqrt(ms + eps);
-        for (int64_t j = 0; j < n; ++j) {
-            row[j] *= inv * (has_gain ? gain(j) : 1.0f);
-        }
+    // Empty gain means all-ones; a non-empty gain of the wrong
+    // length is a caller bug (historically it was silently ignored,
+    // producing un-gained output).
+    if (gain.numel() != 0 && gain.numel() != n) {
+        panic("rmsNormRows: gain numel %" PRId64 " != cols %" PRId64,
+              gain.numel(), n);
     }
+    kernels::rmsNormRowsF32(t.rows(), n, t.data(), n,
+                            gain.numel() == n && n > 0 ? gain.data()
+                                                       : nullptr,
+                            eps);
 }
 
 void
 siluInPlace(Tensor &t)
 {
-    float *d = t.data();
-    for (int64_t i = 0; i < t.numel(); ++i) {
-        d[i] = d[i] / (1.0f + std::exp(-d[i]));
-    }
+    kernels::siluF32(t.data(), t.numel());
 }
 
 void
 geluInPlace(Tensor &t)
 {
-    constexpr float c = 0.7978845608f; // sqrt(2/pi)
-    float *d = t.data();
-    for (int64_t i = 0; i < t.numel(); ++i) {
-        const float x = d[i];
-        d[i] = 0.5f * x *
-            (1.0f + std::tanh(c * (x + 0.044715f * x * x * x)));
-    }
+    kernels::geluF32(t.data(), t.numel());
 }
 
 float

@@ -37,22 +37,38 @@ void gemm(const Tensor &a, const Tensor &b, Tensor &c,
  */
 void gemmTransB(const Tensor &a, const Tensor &b, Tensor &c);
 
-/** Row-wise numerically-stable softmax over a rank-2 tensor. */
+/**
+ * Row-wise numerically-stable softmax over a rank-2 tensor.
+ * Degenerate shapes (0 rows and/or 0 columns) are defined no-ops.
+ * All-(-inf) rows propagate NaN.  Dispatches on the SFU math backend
+ * (`FOCUS_MATH_BACKEND=exact|vector`, see tensor/kernels.h): exact
+ * is the historical bit-identical scalar path, vector the polynomial
+ * SIMD path.
+ */
 void softmaxRows(Tensor &t);
 
-/** Row-wise softmax with an additive mask (mask 0 or -inf style). */
+/**
+ * Row-wise softmax with an additive mask (mask 0 or -inf style).
+ * Both operands must be rank-2 of the same shape; rank is validated
+ * before the mask is applied.
+ */
 void softmaxRowsMasked(Tensor &t, const Tensor &mask);
 
 /**
  * RMSNorm over the last dimension: x / sqrt(mean(x^2) + eps) * gain.
- * @p gain may be empty (all-ones).
+ * @p gain may be empty (all-ones); a non-empty gain whose length is
+ * not the column count panics.  Zero-column tensors are a no-op.
+ * Backend-dispatched like softmaxRows().
  */
 void rmsNormRows(Tensor &t, const Tensor &gain, float eps = 1e-6f);
 
-/** SiLU (swish) activation applied element-wise. */
+/** SiLU (swish), element-wise.  Backend-dispatched like softmaxRows(). */
 void siluInPlace(Tensor &t);
 
-/** GELU (tanh approximation) applied element-wise. */
+/**
+ * GELU (tanh approximation), element-wise.  Backend-dispatched like
+ * softmaxRows().
+ */
 void geluInPlace(Tensor &t);
 
 /** Dot product of two length-n float vectors. */

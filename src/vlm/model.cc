@@ -514,12 +514,11 @@ VlmModel::forward(const VideoSample &sample, const MethodConfig &method,
             for (int64_t j = 0; j < s_cur; ++j) {
                 mx = std::max(mx, logits[static_cast<size_t>(j)]);
             }
-            float sum = 0.0f;
-            for (int64_t j = 0; j < s_cur; ++j) {
-                logits[static_cast<size_t>(j)] =
-                    std::exp(logits[static_cast<size_t>(j)] - mx);
-                sum += logits[static_cast<size_t>(j)];
-            }
+            // SFU-tier exp: the exact backend reproduces the
+            // historical serial std::exp + serial-sum loop bit-exact;
+            // the vector backend runs the polynomial expf.
+            const float sum =
+                kernels::expBiasedSumF32(logits.data(), s_cur, mx);
             for (int64_t j = 0; j < s_cur; ++j) {
                 weights_sum[static_cast<size_t>(j)] +=
                     logits[static_cast<size_t>(j)] / sum /

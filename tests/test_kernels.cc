@@ -6,12 +6,20 @@
  * map, accumulate mode, backend dispatch, thread-count bit-identity
  * (raw kernels and through Evaluator::runFunctional), and — when
  * built with FOCUS_WITH_BLAS — tolerance agreement of the BLAS path.
+ *
+ * SFU tier (SfuKernels.*): exact-backend bit-identity to the
+ * historical scalar loops, vector-backend tolerance vs libm
+ * (polynomial expf, fused softmax, SiLU/GELU, RMSNorm, similarity
+ * gather), NaN propagation, degenerate shapes, thread-count
+ * invariance, and the FOCUS_MATH_BACKEND dispatch.
  */
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <vector>
 
 #include "common/half.h"
@@ -406,6 +414,380 @@ TEST(KernelsDeterminism, RunFunctionalBitIdenticalAcrossThreadCounts)
         EXPECT_EQ(serial.agg.psi_qkv[l], parallel.agg.psi_qkv[l]);
         EXPECT_EQ(serial.agg.psi_ffn[l], parallel.agg.psi_ffn[l]);
     }
+}
+
+// -----------------------------------------------------------------
+// SFU tier
+// -----------------------------------------------------------------
+
+namespace
+{
+
+/** RAII math-backend override (restores the ambient backend). */
+class MathBackendGuard
+{
+  public:
+    explicit MathBackendGuard(kernels::MathBackend b)
+        : prev_(kernels::activeMathBackend())
+    {
+        kernels::setMathBackend(b);
+    }
+    ~MathBackendGuard() { kernels::setMathBackend(prev_); }
+
+  private:
+    kernels::MathBackend prev_;
+};
+
+} // namespace
+
+TEST(SfuKernels, VectorExpTracksLibmAtUlpScale)
+{
+    MathBackendGuard guard(kernels::MathBackend::Vector);
+    // Dense sweep of the non-flushed range plus random gaussians:
+    // the polynomial is specified to ~2 ulp relative error on
+    // [-86, 88]; below -86 it flushes to zero (SfuKernels.
+    // VectorExpSpecialValues covers that).
+    std::vector<float> xs;
+    for (float x = -85.9f; x <= 86.5f; x += 0.173f) {
+        xs.push_back(x);
+    }
+    Rng rng(31);
+    for (int i = 0; i < 500; ++i) {
+        xs.push_back(static_cast<float>(rng.gaussian(0.0, 4.0)));
+    }
+    std::vector<float> got = xs;
+    kernels::expRowsF32(1, static_cast<int64_t>(got.size()), got.data(),
+                        static_cast<int64_t>(got.size()));
+    for (size_t i = 0; i < xs.size(); ++i) {
+        const double want = std::exp(static_cast<double>(xs[i]));
+        EXPECT_NEAR(got[i], want, 5e-7 * want) << "x=" << xs[i];
+    }
+}
+
+TEST(SfuKernels, VectorExpSpecialValues)
+{
+    MathBackendGuard guard(kernels::MathBackend::Vector);
+    constexpr float inf = std::numeric_limits<float>::infinity();
+    float v[6] = {std::numeric_limits<float>::quiet_NaN(), -inf, inf,
+                  0.0f, -87.0f, -1e30f};
+    kernels::expRowsF32(1, 6, v, 6);
+    EXPECT_TRUE(std::isnan(v[0]));
+    EXPECT_EQ(v[1], 0.0f);  // flush-to-zero below the clamp range
+    EXPECT_GT(v[2], 1e38f); // saturates large but finite
+    EXPECT_EQ(v[3], 1.0f);
+    EXPECT_EQ(v[4], 0.0f); // below -86: flushed (never denormal)
+    EXPECT_EQ(v[5], 0.0f); // softmax -1e30 masks give exactly 0
+}
+
+TEST(SfuKernels, SoftmaxExactBitIdenticalToHistoricalLoop)
+{
+    MathBackendGuard guard(kernels::MathBackend::Exact);
+    Rng rng(32);
+    const int64_t rows = 9, cols = 37;
+    std::vector<float> x = randomBuf(rng, rows * cols);
+    std::vector<float> ref = x;
+    kernels::softmaxRowsF32(rows, cols, x.data(), cols);
+    // The pre-SFU-tier tensor/ops.cc loop, verbatim.
+    for (int64_t i = 0; i < rows; ++i) {
+        float *row = ref.data() + i * cols;
+        float mx = row[0];
+        for (int64_t j = 1; j < cols; ++j) {
+            mx = std::max(mx, row[j]);
+        }
+        float sum = 0.0f;
+        for (int64_t j = 0; j < cols; ++j) {
+            row[j] = std::exp(row[j] - mx);
+            sum += row[j];
+        }
+        const float inv = 1.0f / sum;
+        for (int64_t j = 0; j < cols; ++j) {
+            row[j] *= inv;
+        }
+    }
+    EXPECT_TRUE(bitsEqual(x, ref));
+}
+
+TEST(SfuKernels, SoftmaxVectorTracksExact)
+{
+    Rng rng(33);
+    for (int64_t cols : {1, 3, 7, 8, 64, 129}) {
+        const int64_t rows = 5;
+        std::vector<float> base(static_cast<size_t>(rows * cols));
+        for (auto &v : base) {
+            v = static_cast<float>(rng.gaussian(0.0, 3.0));
+        }
+        std::vector<float> exact = base, vec = base;
+        {
+            MathBackendGuard g(kernels::MathBackend::Exact);
+            kernels::softmaxRowsF32(rows, cols, exact.data(), cols);
+        }
+        {
+            MathBackendGuard g(kernels::MathBackend::Vector);
+            kernels::softmaxRowsF32(rows, cols, vec.data(), cols);
+        }
+        for (int64_t i = 0; i < rows; ++i) {
+            float sum = 0.0f;
+            for (int64_t j = 0; j < cols; ++j) {
+                const size_t at = static_cast<size_t>(i * cols + j);
+                EXPECT_NEAR(vec[at], exact[at], 2e-6)
+                    << "cols=" << cols << " (" << i << "," << j << ")";
+                sum += vec[at];
+            }
+            EXPECT_NEAR(sum, 1.0f, 1e-5);
+        }
+    }
+}
+
+TEST(SfuKernels, SoftmaxVectorPropagatesNaNForAllMaskedRows)
+{
+    MathBackendGuard guard(kernels::MathBackend::Vector);
+    constexpr float ninf = -std::numeric_limits<float>::infinity();
+    std::vector<float> x = {ninf, ninf, ninf, 0.5f, 0.25f, 0.125f};
+    kernels::softmaxRowsF32(2, 3, x.data(), 3);
+    for (int j = 0; j < 3; ++j) {
+        EXPECT_TRUE(std::isnan(x[static_cast<size_t>(j)]));
+        EXPECT_GT(x[static_cast<size_t>(3 + j)], 0.0f);
+    }
+}
+
+TEST(SfuKernels, SoftmaxDegenerateShapesAreNoops)
+{
+    for (kernels::MathBackend b :
+         {kernels::MathBackend::Exact, kernels::MathBackend::Vector}) {
+        MathBackendGuard guard(b);
+        float sentinel[3] = {1.0f, 2.0f, 3.0f};
+        kernels::softmaxRowsF32(0, 3, sentinel, 3);
+        kernels::softmaxRowsF32(3, 0, sentinel, 0);
+        EXPECT_EQ(sentinel[0], 1.0f);
+        EXPECT_EQ(sentinel[1], 2.0f);
+        EXPECT_EQ(sentinel[2], 3.0f);
+        EXPECT_EQ(kernels::expBiasedSumF32(sentinel, 0, 0.0f), 0.0f);
+        kernels::expRowsF32(0, 3, sentinel, 3);
+        EXPECT_EQ(sentinel[0], 1.0f);
+    }
+}
+
+TEST(SfuKernels, ExpBiasedSumExactMatchesHistoricalReadoutLoop)
+{
+    MathBackendGuard guard(kernels::MathBackend::Exact);
+    Rng rng(34);
+    std::vector<float> x = randomBuf(rng, 61);
+    std::vector<float> ref = x;
+    float mx = -1e30f;
+    for (float v : x) {
+        mx = std::max(mx, v);
+    }
+    const float got_sum =
+        kernels::expBiasedSumF32(x.data(), 61, mx);
+    float want_sum = 0.0f;
+    for (auto &v : ref) {
+        v = std::exp(v - mx);
+        want_sum += v;
+    }
+    EXPECT_EQ(got_sum, want_sum);
+    EXPECT_TRUE(bitsEqual(x, ref));
+}
+
+TEST(SfuKernels, ActivationsVectorTracksExact)
+{
+    Rng rng(35);
+    std::vector<float> base = randomBuf(rng, 513);
+    base.push_back(30.0f); // deep saturation both sides
+    base.push_back(-30.0f);
+    const int64_t n = static_cast<int64_t>(base.size());
+    std::vector<float> se = base, sv = base, ge = base, gv = base;
+    {
+        MathBackendGuard g(kernels::MathBackend::Exact);
+        kernels::siluF32(se.data(), n);
+        kernels::geluF32(ge.data(), n);
+    }
+    {
+        MathBackendGuard g(kernels::MathBackend::Vector);
+        kernels::siluF32(sv.data(), n);
+        kernels::geluF32(gv.data(), n);
+    }
+    for (size_t i = 0; i < base.size(); ++i) {
+        const double tol =
+            1e-6 * (1.0 + std::abs(static_cast<double>(base[i])));
+        EXPECT_NEAR(sv[i], se[i], tol) << "silu x=" << base[i];
+        EXPECT_NEAR(gv[i], ge[i], tol) << "gelu x=" << base[i];
+    }
+}
+
+TEST(SfuKernels, RmsNormVectorTracksExact)
+{
+    Rng rng(36);
+    const int64_t rows = 4, cols = 129;
+    std::vector<float> base = randomBuf(rng, rows * cols);
+    std::vector<float> gain = randomBuf(rng, cols);
+    std::vector<float> exact = base, vec = base;
+    {
+        MathBackendGuard g(kernels::MathBackend::Exact);
+        kernels::rmsNormRowsF32(rows, cols, exact.data(), cols,
+                                gain.data(), 1e-6f);
+    }
+    {
+        MathBackendGuard g(kernels::MathBackend::Vector);
+        kernels::rmsNormRowsF32(rows, cols, vec.data(), cols,
+                                gain.data(), 1e-6f);
+    }
+    for (size_t i = 0; i < exact.size(); ++i) {
+        EXPECT_NEAR(vec[i], exact[i],
+                    1e-5 *
+                        (1.0 + std::abs(static_cast<double>(exact[i]))));
+    }
+}
+
+TEST(SfuKernels, SimGatherExactBitIdenticalToPrenormCosine)
+{
+    MathBackendGuard guard(kernels::MathBackend::Exact);
+    Rng rng(37);
+    const int64_t rows = 12, n = 32;
+    const std::vector<float> pack = randomBuf(rng, rows * n);
+    std::vector<float> norms(static_cast<size_t>(rows));
+    kernels::l2NormRowsF32(pack.data(), n, rows, n, norms.data());
+    const int64_t cand[] = {3, 0, 11, 7, 7, 2};
+    std::vector<float> sims(6);
+    kernels::simGatherF32(pack.data(), norms[0], pack.data(), n,
+                          norms.data(), cand, 6, n, sims.data());
+    for (int64_t c = 0; c < 6; ++c) {
+        const float want = cosineSimilarityPrenorm(
+            pack.data(), norms[0], pack.data() + cand[c] * n,
+            norms[static_cast<size_t>(cand[c])], n);
+        EXPECT_EQ(sims[static_cast<size_t>(c)], want);
+        EXPECT_EQ(norms[static_cast<size_t>(c)],
+                  l2Norm(pack.data() + c * n, n));
+    }
+    EXPECT_NEAR(sims[1], 1.0f, 1e-6); // cand[1] == 0: key vs itself
+}
+
+TEST(SfuKernels, SimGatherVectorTracksExact)
+{
+    Rng rng(38);
+    for (int64_t n : {8, 32, 33}) {
+        const int64_t rows = 9;
+        const std::vector<float> pack = randomBuf(rng, rows * n);
+        std::vector<float> norms(static_cast<size_t>(rows));
+        std::vector<float> norms_vec(static_cast<size_t>(rows));
+        const int64_t cand[] = {1, 2, 3, 4, 5, 6, 7, 8};
+        std::vector<float> exact(8), vec(8);
+        {
+            MathBackendGuard g(kernels::MathBackend::Exact);
+            kernels::l2NormRowsF32(pack.data(), n, rows, n,
+                                   norms.data());
+            kernels::simGatherF32(pack.data(), norms[0], pack.data(),
+                                  n, norms.data(), cand, 8, n,
+                                  exact.data());
+        }
+        {
+            MathBackendGuard g(kernels::MathBackend::Vector);
+            kernels::l2NormRowsF32(pack.data(), n, rows, n,
+                                   norms_vec.data());
+            kernels::simGatherF32(pack.data(), norms_vec[0],
+                                  pack.data(), n, norms_vec.data(),
+                                  cand, 8, n, vec.data());
+        }
+        for (size_t c = 0; c < 8; ++c) {
+            EXPECT_NEAR(vec[c], exact[c], 1e-5)
+                << "n=" << n << " cand=" << c;
+        }
+        // Zero-norm candidates never match on either backend.
+        std::vector<float> zero_pack(static_cast<size_t>(2 * n), 0.0f);
+        std::copy(pack.begin(), pack.begin() + n, zero_pack.begin());
+        float znorms[2];
+        kernels::l2NormRowsF32(zero_pack.data(), n, 2, n, znorms);
+        const int64_t zc[] = {1};
+        float zsim = -1.0f;
+        kernels::simGatherF32(zero_pack.data(), znorms[0],
+                              zero_pack.data(), n, znorms, zc, 1, n,
+                              &zsim);
+        EXPECT_EQ(zsim, 0.0f);
+    }
+}
+
+TEST(SfuKernels, ThreadCountBitIdentity)
+{
+    // Large enough to cross the row fan-out threshold on both
+    // backends; per-row work is independent, so results must be
+    // bit-identical at every pool width.
+    Rng rng(39);
+    const int64_t rows = 300, cols = 300;
+    const std::vector<float> base = randomBuf(rng, rows * cols);
+    for (kernels::MathBackend b :
+         {kernels::MathBackend::Exact, kernels::MathBackend::Vector}) {
+        MathBackendGuard guard(b);
+        std::vector<float> c1 = base, c4 = base;
+        ThreadPool::setGlobalThreads(1);
+        kernels::softmaxRowsF32(rows, cols, c1.data(), cols);
+        ThreadPool::setGlobalThreads(4);
+        kernels::softmaxRowsF32(rows, cols, c4.data(), cols);
+        ThreadPool::setGlobalThreads(0);
+        EXPECT_TRUE(bitsEqual(c1, c4))
+            << kernels::mathBackendName(b);
+
+        std::vector<float> r1 = base, r4 = base;
+        ThreadPool::setGlobalThreads(1);
+        kernels::rmsNormRowsF32(rows, cols, r1.data(), cols, nullptr,
+                                1e-6f);
+        ThreadPool::setGlobalThreads(4);
+        kernels::rmsNormRowsF32(rows, cols, r4.data(), cols, nullptr,
+                                1e-6f);
+        ThreadPool::setGlobalThreads(0);
+        EXPECT_TRUE(bitsEqual(r1, r4))
+            << kernels::mathBackendName(b);
+    }
+}
+
+TEST(SfuKernels, MathBackendNamesRoundTrip)
+{
+    kernels::MathBackend b;
+    EXPECT_TRUE(kernels::parseMathBackend("exact", b));
+    EXPECT_EQ(b, kernels::MathBackend::Exact);
+    EXPECT_TRUE(kernels::parseMathBackend("vector", b));
+    EXPECT_EQ(b, kernels::MathBackend::Vector);
+    EXPECT_FALSE(kernels::parseMathBackend("fast", b));
+    EXPECT_FALSE(kernels::parseMathBackend("", b));
+    EXPECT_STREQ(kernels::mathBackendName(kernels::MathBackend::Exact),
+                 "exact");
+    EXPECT_STREQ(
+        kernels::mathBackendName(kernels::MathBackend::Vector),
+        "vector");
+}
+
+TEST(SfuKernels, MathBackendFollowsEnvironment)
+{
+    // The ambient backend must match FOCUS_MATH_BACKEND (Exact when
+    // unset) — this runs in both CI matrix legs, so it pins the env
+    // initialization path for each value.
+    kernels::MathBackend want = kernels::MathBackend::Exact;
+    if (const char *env = std::getenv("FOCUS_MATH_BACKEND")) {
+        if (*env != '\0') {
+            ASSERT_TRUE(kernels::parseMathBackend(env, want))
+                << "unparseable FOCUS_MATH_BACKEND in test env";
+        }
+    }
+    EXPECT_EQ(kernels::activeMathBackend(), want);
+}
+
+TEST(SfuKernels, OpsSoftmaxDispatchesOnMathBackend)
+{
+    // Through the tensor/ops.h entry point: the two backends must
+    // agree to tolerance but are not expected to be bit-identical.
+    Rng rng(40);
+    Tensor base(6, 50);
+    for (int64_t i = 0; i < base.numel(); ++i) {
+        base.data()[i] = static_cast<float>(rng.gaussian(0.0, 2.0));
+    }
+    Tensor te = base, tv = base;
+    {
+        MathBackendGuard g(kernels::MathBackend::Exact);
+        softmaxRows(te);
+    }
+    {
+        MathBackendGuard g(kernels::MathBackend::Vector);
+        softmaxRows(tv);
+    }
+    EXPECT_LT(maxAbsDiff(tv, te), 2e-6);
 }
 
 TEST(KernelsQuant, GemmInt8TensorPathUnchanged)

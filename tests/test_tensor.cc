@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/rng.h"
 #include "tensor/ops.h"
@@ -162,6 +163,60 @@ TEST(Softmax, MaskedEntriesGetZero)
     EXPECT_NEAR(t(0, 0), 1.0f / 3.0f, 1e-5);
 }
 
+TEST(Softmax, ZeroColumnTensorIsNoop)
+{
+    // Historical bug: the row loop read row[0] of an empty row.
+    Tensor t(3, 0);
+    softmaxRows(t);
+    EXPECT_EQ(t.rows(), 3);
+    EXPECT_EQ(t.numel(), 0);
+}
+
+TEST(Softmax, ZeroRowTensorIsNoop)
+{
+    Tensor t(0, 7);
+    softmaxRows(t);
+    EXPECT_EQ(t.rows(), 0);
+}
+
+TEST(Softmax, SingleColumnRowsBecomeOne)
+{
+    Tensor t(3, 1);
+    t(0, 0) = -50.0f;
+    t(1, 0) = 0.0f;
+    t(2, 0) = 1234.0f;
+    softmaxRows(t);
+    for (int64_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(t(i, 0), 1.0f);
+    }
+}
+
+TEST(Softmax, MaskedValidatesRankBeforeMutating)
+{
+    // Rank must be rejected up front — historically the panic fired
+    // inside softmaxRows only after the mask had been added.
+    Tensor t(2, 3, 4);
+    Tensor mask(2, 3, 4);
+    EXPECT_DEATH(softmaxRowsMasked(t, mask), "rank-2");
+}
+
+TEST(Softmax, AllMaskedRowPropagatesNaN)
+{
+    constexpr float ninf = -std::numeric_limits<float>::infinity();
+    Tensor t(2, 3);
+    Tensor mask(2, 3);
+    for (int64_t j = 0; j < 3; ++j) {
+        mask(0, j) = ninf; // row 0: everything masked
+    }
+    softmaxRowsMasked(t, mask);
+    for (int64_t j = 0; j < 3; ++j) {
+        // -inf - (-inf) = NaN must propagate, not silently become a
+        // uniform (or garbage) distribution.
+        EXPECT_TRUE(std::isnan(t(0, j))) << "col " << j;
+        EXPECT_NEAR(t(1, j), 1.0f / 3.0f, 1e-5);
+    }
+}
+
 TEST(RmsNorm, UnitRmsAfterNorm)
 {
     Rng rng(7);
@@ -189,6 +244,35 @@ TEST(RmsNorm, GainApplies)
     EXPECT_NEAR(t(0, 0) / t(0, 1), 2.0f, 1e-5);
 }
 
+TEST(RmsNorm, MismatchedGainPanics)
+{
+    // Historical bug: a non-empty gain of the wrong length was
+    // silently ignored, producing un-gained output.
+    Tensor t(2, 4);
+    t.fill(1.0f);
+    Tensor gain(3);
+    gain.fill(2.0f);
+    EXPECT_DEATH(rmsNormRows(t, gain), "gain numel");
+}
+
+TEST(RmsNorm, DegenerateShapesAreNoops)
+{
+    Tensor empty_gain;
+    Tensor zero_cols(4, 0);
+    rmsNormRows(zero_cols, empty_gain); // historically 0/0 -> NaN fill
+    EXPECT_EQ(zero_cols.numel(), 0);
+    Tensor zero_rows(0, 5);
+    rmsNormRows(zero_rows, empty_gain);
+    EXPECT_EQ(zero_rows.rows(), 0);
+    // One column: normalizes to +/- sqrt(1 + eps-ish) sign-preserving.
+    Tensor one(2, 1);
+    one(0, 0) = -7.0f;
+    one(1, 0) = 0.5f;
+    rmsNormRows(one, empty_gain);
+    EXPECT_NEAR(one(0, 0), -1.0f, 1e-5);
+    EXPECT_NEAR(one(1, 0), 1.0f, 1e-5);
+}
+
 TEST(Activations, SiluAndGeluShapes)
 {
     Tensor t(1, 3);
@@ -203,6 +287,18 @@ TEST(Activations, SiluAndGeluShapes)
     geluInPlace(g);
     EXPECT_NEAR(g(0, 0), 0.0f, 1e-6);
     EXPECT_NEAR(g(0, 1), 10.0f, 1e-3);
+}
+
+TEST(Activations, EmptyTensorsAreNoops)
+{
+    Tensor a(0, 8);
+    siluInPlace(a);
+    geluInPlace(a);
+    EXPECT_EQ(a.numel(), 0);
+    Tensor b(8, 0);
+    siluInPlace(b);
+    geluInPlace(b);
+    EXPECT_EQ(b.numel(), 0);
 }
 
 TEST(Similarity, CosineOfParallelVectorsIsOne)
