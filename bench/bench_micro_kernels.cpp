@@ -17,11 +17,14 @@
 #include "focus/sec.h"
 #include "focus/sic.h"
 #include "runtime/thread_pool.h"
+#include "sim/accel_model.h"
 #include "sim/dram.h"
 #include "sim/systolic.h"
+#include "sim/trace.h"
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "tensor/quant.h"
+#include "workload/profiles.h"
 
 using namespace focus;
 
@@ -305,6 +308,88 @@ BM_TimeGemmModel(benchmark::State &state)
 }
 BENCHMARK(BM_TimeGemmModel);
 
+// ---- whole-trace cycle model, per FOCUS_SIM_BACKEND ----
+
+const WorkloadTrace &
+microDenseTrace()
+{
+    static const WorkloadTrace tr = buildDenseTrace(
+        modelProfile("Llava-Vid"), datasetProfile("VideoMME"));
+    return tr;
+}
+
+const WorkloadTrace &
+microFocusTrace()
+{
+    static const WorkloadTrace tr = [] {
+        const ModelProfile mp = modelProfile("Llava-Vid");
+        FunctionalAggregate agg;
+        agg.reduced_layers = mp.layers;
+        const size_t n = static_cast<size_t>(mp.layers);
+        agg.keep_in.assign(n, 1.0);
+        agg.keep_out.assign(n, 1.0);
+        agg.psi_qkv.assign(n, 0.5);
+        agg.psi_oproj.assign(n, 0.5);
+        agg.psi_ffn.assign(n, 0.5);
+        agg.psi_down.assign(n, 0.5);
+        // Empirical per-tile distribution so the SIC sampling path
+        // (not the mean-backed closed form) is what gets measured.
+        agg.tile_fracs.resize(96);
+        for (size_t i = 0; i < agg.tile_fracs.size(); ++i) {
+            agg.tile_fracs[i] =
+                0.1 + 0.8 * static_cast<double>(i) / 95.0;
+        }
+        return buildTrace(mp, datasetProfile("VideoMME"),
+                          MethodConfig::focusFull(), agg);
+    }();
+    return tr;
+}
+
+void
+simulateAccelRow(benchmark::State &state, const AccelConfig &cfg,
+                 const WorkloadTrace &trace, SimBackend backend)
+{
+    const SimBackend saved = activeSimBackend();
+    setSimBackend(backend);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            simulateAccelerator(cfg, trace).cycles);
+    }
+    setSimBackend(saved);
+}
+
+void
+BM_SimulateAccelDenseWalk(benchmark::State &state)
+{
+    simulateAccelRow(state, AccelConfig::systolicArray(),
+                     microDenseTrace(), SimBackend::Walk);
+}
+BENCHMARK(BM_SimulateAccelDenseWalk);
+
+void
+BM_SimulateAccelDenseFast(benchmark::State &state)
+{
+    simulateAccelRow(state, AccelConfig::systolicArray(),
+                     microDenseTrace(), SimBackend::Fast);
+}
+BENCHMARK(BM_SimulateAccelDenseFast);
+
+void
+BM_SimulateAccelFocusWalk(benchmark::State &state)
+{
+    simulateAccelRow(state, AccelConfig::focus(), microFocusTrace(),
+                     SimBackend::Walk);
+}
+BENCHMARK(BM_SimulateAccelFocusWalk);
+
+void
+BM_SimulateAccelFocusFast(benchmark::State &state)
+{
+    simulateAccelRow(state, AccelConfig::focus(), microFocusTrace(),
+                     SimBackend::Fast);
+}
+BENCHMARK(BM_SimulateAccelFocusFast);
+
 } // namespace
 
 // Custom main: kernel microbenches measure the functional kernels the
@@ -340,10 +425,11 @@ main(int argc, char **argv)
         kernels::setMathBackend(kernels::MathBackend::Vector);
     }
     std::printf("# pool threads: %d, gemm backend: %s, "
-                "math backend: %s\n",
+                "math backend: %s, sim backend: %s\n",
                 ThreadPool::global().threads(),
                 kernels::backendName(kernels::activeBackend()),
-                kernels::mathBackendName(kernels::activeMathBackend()));
+                kernels::mathBackendName(kernels::activeMathBackend()),
+                simBackendName(activeSimBackend()));
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
         return 1;

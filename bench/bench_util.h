@@ -29,6 +29,7 @@
 #include "eval/evaluator.h"
 #include "runtime/thread_pool.h"
 #include "sim/gpu_model.h"
+#include "sim/systolic.h"
 #include "tensor/kernels.h"
 
 namespace focus
@@ -134,16 +135,23 @@ accelForMethod(const MethodConfig &m)
     }
 }
 
-/** Standard bench banner. */
+/**
+ * Standard bench banner.  Echoes the active backends so a result can
+ * be tied to its configuration; everything *below* the banner is
+ * bit-identical across FOCUS_SIM_BACKEND values (the CI smoke diffs
+ * it), so the banner is the only line that names the cycle-model
+ * backend.
+ */
 inline void
 benchBanner(const char *what, const BenchOptions &bo)
 {
     std::printf("=== %s ===\n", what);
     std::printf("(synthetic reproduction; %d samples per cell; "
-                "%d threads; %s math; see EXPERIMENTS.md for "
+                "%d threads; %s math; %s sim; see EXPERIMENTS.md for "
                 "paper-vs-measured)\n\n",
                 bo.samples, ThreadPool::global().threads(),
-                kernels::mathBackendName(kernels::activeMathBackend()));
+                kernels::mathBackendName(kernels::activeMathBackend()),
+                simBackendName(activeSimBackend()));
 }
 
 } // namespace focus

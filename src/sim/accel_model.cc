@@ -1,7 +1,11 @@
 #include "sim/accel_model.h"
 
 #include <algorithm>
+#include <cinttypes>
 #include <cmath>
+#include <cstring>
+#include <map>
+#include <tuple>
 
 #include "common/logging.h"
 #include "common/math_util.h"
@@ -22,12 +26,74 @@ mapBytes(double vectors)
     return static_cast<uint64_t>(std::llround(vectors * 2.0));
 }
 
+/** Cap on recorded tile lengths (Fig. 13 histogram sample). */
+constexpr size_t kTileLengthCap = 200000;
+
+/**
+ * One-time config validation at simulation entry: every division in
+ * the cycle/traffic models below assumes positive dimensions, so a
+ * non-positive value panics here instead of silently flooring to 1
+ * (or dividing by zero) deep inside a tile walk.
+ */
+void
+validateAccelConfig(const AccelConfig &cfg)
+{
+    if (cfg.array_rows <= 0 || cfg.array_cols <= 0 ||
+        cfg.m_tile <= 0 || cfg.sec_lanes <= 0 ||
+        cfg.vector_size <= 0 || cfg.scatter_accumulators <= 0 ||
+        cfg.sic_matchers <= 0) {
+        panic("simulateAccelerator: non-positive AccelConfig "
+              "dimension (array_rows=%d array_cols=%d m_tile=%" PRId64
+              " sec_lanes=%d vector_size=%d scatter_accumulators=%d "
+              "sic_matchers=%d)",
+              cfg.array_rows, cfg.array_cols, cfg.m_tile,
+              cfg.sec_lanes, cfg.vector_size,
+              cfg.scatter_accumulators, cfg.sic_matchers);
+    }
+}
+
+/**
+ * Memoization key for one GEMM's timing under the fast backend: the
+ * event geometry, the effective SIC/gather flags, the psi value, and
+ * — when drawing from the trace's empirical tile_fracs distribution —
+ * the sampler's round-robin cursor, since the draws (and so the
+ * result and the post-call sampler state) are a pure function of the
+ * cursor.  Keyed with an ordered map like the serving layer's
+ * composition cache; AccelConfig is fixed within one call, so it
+ * stays out of the key.
+ */
+struct TimingKey
+{
+    int64_t m, k, n;
+    bool sic, gather;
+    uint64_t psi_bits;
+    int64_t cursor; ///< -1 for the stateless mean sampler
+
+    bool
+    operator<(const TimingKey &o) const
+    {
+        return std::tie(m, k, n, sic, gather, psi_bits, cursor) <
+            std::tie(o.m, o.k, o.n, o.sic, o.gather, o.psi_bits,
+                     o.cursor);
+    }
+};
+
+uint64_t
+doubleBits(double v)
+{
+    uint64_t u;
+    std::memcpy(&u, &v, sizeof(u));
+    return u;
+}
+
 } // namespace
 
 RunMetrics
 simulateAccelerator(const AccelConfig &cfg, const WorkloadTrace &trace,
                     const EnergyParams &ep)
 {
+    validateAccelConfig(cfg);
+
     RunMetrics rm;
     rm.arch = cfg.name;
     rm.method = trace.method;
@@ -35,6 +101,12 @@ simulateAccelerator(const AccelConfig &cfg, const WorkloadTrace &trace,
 
     DramModel dram(cfg.dram);
     FracSampler psi_dist(&trace.tile_fracs, 1.0);
+
+    // Fast backend: layers repeat geometry, so (TimingKey -> timing)
+    // hits replace whole tile walks.  The walk backend stays cacheless
+    // — it is the reference the equivalence suite diffs against.
+    const bool memoize = activeSimBackend() == SimBackend::Fast;
+    std::map<TimingKey, GemmTiming> timing_cache;
 
     const bool is_focus_arch = cfg.arch == ArchKind::Focus;
     const bool is_cmc = cfg.arch == ArchKind::CMC;
@@ -64,24 +136,63 @@ simulateAccelerator(const AccelConfig &cfg, const WorkloadTrace &trace,
 
         for (const GemmEvent &g : layer.gemms) {
             const bool sic_in = g.psi_in < 1.0;
+            const bool use_dist = sic_in && !trace.tile_fracs.empty();
+            const bool gather = is_focus_arch && g.gather_out;
             FracSampler mean_sampler(nullptr, g.psi_in);
-            FracSampler &sampler =
-                sic_in && !trace.tile_fracs.empty() ? psi_dist
-                                                    : mean_sampler;
+            FracSampler &sampler = use_dist ? psi_dist : mean_sampler;
 
-            GemmTiming t = timeGemm(cfg, g.m, g.k, g.n, sampler,
-                                    sic_in,
-                                    is_focus_arch && g.gather_out);
+            GemmTiming fresh;
+            const GemmTiming *timing = nullptr;
+            if (memoize) {
+                const TimingKey key{
+                    g.m, g.k, g.n, sic_in, gather,
+                    doubleBits(g.psi_in),
+                    use_dist
+                        ? static_cast<int64_t>(psi_dist.cursor())
+                        : -1};
+                const auto it = timing_cache.find(key);
+                if (it != timing_cache.end()) {
+                    // Leave the shared sampler exactly where a real
+                    // walk would have (sampler-order invariant).
+                    if (use_dist) {
+                        psi_dist.advance(
+                            timeGemmDraws(cfg, g.m, g.k, g.n));
+                    }
+                    timing = &it->second;
+                } else {
+                    fresh = timeGemm(cfg, g.m, g.k, g.n, sampler,
+                                     sic_in, gather);
+                    timing = &timing_cache
+                                  .emplace(key, std::move(fresh))
+                                  .first->second;
+                }
+            } else {
+                fresh = timeGemm(cfg, g.m, g.k, g.n, sampler, sic_in,
+                                 gather);
+                timing = &fresh;
+            }
+            const GemmTiming &t = *timing;
             layer_compute += t.cycles * g.count;
             rm.stall_scatter += t.stall_scatter * g.count;
             rm.stall_matcher += t.stall_matcher * g.count;
             rm.mac_ops += t.mac_ops * g.count;
             rm.scatter_ops += t.scatter_ops * g.count;
             rm.matcher_ops += t.matcher_ops * g.count;
-            if (sic_in && rm.tile_lengths.size() < 200000) {
-                rm.tile_lengths.insert(rm.tile_lengths.end(),
-                                       t.tile_lengths.begin(),
-                                       t.tile_lengths.end());
+            if (sic_in && rm.tile_lengths.size() < kTileLengthCap) {
+                // Truncate the batch insert precisely at the cap (a
+                // whole-batch insert used to overshoot it by up to
+                // one GEMM's worth of tiles).
+                if (rm.tile_lengths.empty()) {
+                    rm.tile_lengths.reserve(kTileLengthCap);
+                }
+                const size_t room =
+                    kTileLengthCap - rm.tile_lengths.size();
+                const size_t take =
+                    std::min(room, t.tile_lengths.size());
+                rm.tile_lengths.insert(
+                    rm.tile_lengths.end(), t.tile_lengths.begin(),
+                    t.tile_lengths.begin() +
+                        static_cast<int64_t>(take));
             }
 
             // ---- DRAM traffic ----
@@ -231,6 +342,10 @@ simulateAccelerator(const AccelConfig &cfg, const WorkloadTrace &trace,
         dram.addStreamEnergy(layer_dram_bytes);
         rm.cycles += std::max(layer_compute, dram_cycles);
     }
+
+    // Drop the cap-sized reservation slack: RunMetrics objects are
+    // stored long-term (serving composition cache, grid results).
+    rm.tile_lengths.shrink_to_fit();
 
     rm.mean_input_frac = input_frac_den > 0.0
         ? input_frac_sum / input_frac_den : 1.0;

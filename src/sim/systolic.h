@@ -21,6 +21,27 @@
  * m x a output tile with one matcher; it runs off the critical path
  * unless the GEMM's per-tile time K/b*m is smaller (K < 256 corner,
  * Sec. VI-A), in which case extra matchers or a stall apply.
+ *
+ * Two implementations sit behind the runtime `FOCUS_SIM_BACKEND`
+ * dispatch (same contract as `FOCUS_GEMM_BACKEND` /
+ * `FOCUS_MATH_BACKEND`, see common/env_dispatch.h):
+ *
+ *  - **walk**: the reference per-tile triple loop, kept verbatim.
+ *  - **fast** (default): dense (non-SIC) GEMMs are costed in closed
+ *    form over the <= 2x2 distinct (m-rows, n-cols) edge-tile bands —
+ *    every per-sub-tile quantity is affine in the tile counts, and
+ *    all op counters are integer-valued doubles, so the aggregated
+ *    sums are bit-identical to the walk for any total below 2^53
+ *    (far above paper scale).  SIC GEMMs are data-dependent — one psi
+ *    draw per sub-tile — but a round-robin sampler makes every draw
+ *    window a cyclic slice of the distribution, so the per-value
+ *    arithmetic (p, sub-tile latency, scatter stall) is tabulated
+ *    once per distinct tile geometry and each window reduces to
+ *    prefix-sum lookups plus a bulk tile-length append; a mean-backed
+ *    sampler collapses to closed form outright.  The draw consumption
+ *    order (m-tile, n-tile, k-sub-tile, exactly one draw per
+ *    sub-tile) is identical to the walk's, which
+ *    `tests/test_sim_equiv.cc` asserts bit-for-bit.
  */
 
 #ifndef FOCUS_SIM_SYSTOLIC_H
@@ -59,6 +80,33 @@ class FracSampler
         return v;
     }
 
+    /**
+     * Skip @p n draws (cursor advance only).  Lets the fast backend
+     * consume a whole draw window through precomputed per-value
+     * tables — or a memoized timing result — while leaving the
+     * sampler in exactly the state @p n next() calls would have
+     * (the sampler-order invariant).
+     */
+    void
+    advance(uint64_t n)
+    {
+        if (fracs_) {
+            cursor_ = (cursor_ + n) % fracs_->size();
+        }
+    }
+
+    /** True when drawing from an empirical distribution (stateful). */
+    bool empirical() const { return fracs_ != nullptr; }
+
+    /** The empirical distribution (nullptr when mean-backed). */
+    const std::vector<double> *dist() const { return fracs_; }
+
+    /** The fallback mean next() returns without a distribution. */
+    double mean() const { return mean_; }
+
+    /** Current round-robin position (0 when mean-backed). */
+    size_t cursor() const { return cursor_; }
+
   private:
     const std::vector<double> *fracs_;
     double mean_;
@@ -83,9 +131,43 @@ struct GemmTiming
     double utilization(const AccelConfig &cfg) const;
 };
 
+// ---------------------------------------------------------------
+// Simulator backend dispatch (FOCUS_SIM_BACKEND=walk|fast)
+// ---------------------------------------------------------------
+
+/** Cycle-model backend selected at runtime (see file comment). */
+enum class SimBackend
+{
+    Walk, ///< reference per-tile walk, verbatim
+    Fast  ///< closed-form dense + hoisted-sampler SIC (default)
+};
+
+/** Name for logging / bench banners ("walk" | "fast"). */
+const char *simBackendName(SimBackend b);
+
+/**
+ * Parse a sim-backend name ("walk", "fast"); returns false on an
+ * unknown name.
+ */
+bool parseSimBackend(const char *name, SimBackend &out);
+
+/**
+ * Currently active sim backend.  Initialized once from the
+ * FOCUS_SIM_BACKEND environment variable (default Fast; panics on an
+ * unknown name).
+ */
+SimBackend activeSimBackend();
+
+/** Override the active sim backend. */
+void setSimBackend(SimBackend b);
+
 /**
  * Time one logical GEMM of @p m x @p k x @p n (already including any
- * `count` replication by the caller).
+ * `count` replication by the caller) on the active backend.
+ *
+ * Panics on a config with non-positive array/tile/unit dimensions —
+ * callers reaching this layer must hold a validated AccelConfig (see
+ * simulateAccelerator).
  *
  * @param psi      sampler for per-(m-tile, k-subtile) input unique
  *                 fractions (1.0 when the input is dense)
@@ -94,6 +176,25 @@ struct GemmTiming
 GemmTiming timeGemm(const AccelConfig &cfg, int64_t m, int64_t k,
                     int64_t n, FracSampler &psi, bool sic_input,
                     bool gather_out);
+
+/** The reference per-tile walk (FOCUS_SIM_BACKEND=walk). */
+GemmTiming timeGemmWalk(const AccelConfig &cfg, int64_t m, int64_t k,
+                        int64_t n, FracSampler &psi, bool sic_input,
+                        bool gather_out);
+
+/** The aggregated closed-form model (FOCUS_SIM_BACKEND=fast). */
+GemmTiming timeGemmFast(const AccelConfig &cfg, int64_t m, int64_t k,
+                        int64_t n, FracSampler &psi, bool sic_input,
+                        bool gather_out);
+
+/**
+ * Number of FracSampler draws a SIC-input timeGemm of this shape
+ * consumes (one per (m-tile, n-tile, k-sub-tile)); 0 for empty
+ * shapes.  The memoization layer uses this to advance a shared
+ * sampler past a cached result.
+ */
+uint64_t timeGemmDraws(const AccelConfig &cfg, int64_t m, int64_t k,
+                       int64_t n);
 
 /**
  * SEC schedule check (Sec. V-B): cycles of the top-k sorter

@@ -120,6 +120,15 @@ struct WorkloadTrace
      * Empirical unique-fraction distribution over (tile, slice)
      * pairs, pooled across layers; the timing model samples it
      * round-robin for per-tile variation (Fig. 13).
+     *
+     * Sampler-order invariant: within one simulateAccelerator call a
+     * single round-robin cursor walks this vector, consuming exactly
+     * one draw per (m-tile, n-tile, k-sub-tile) of every SIC-input
+     * GEMM, in layer -> event -> m-tile -> n-tile -> k-sub-tile
+     * order.  Both cycle-model backends (FOCUS_SIM_BACKEND=walk|fast)
+     * and the fast backend's memoization preserve this order, which
+     * is what makes their outputs bit-identical — see
+     * docs/SIMULATOR.md and tests/test_sim_equiv.cc.
      */
     std::vector<double> tile_fracs;
 

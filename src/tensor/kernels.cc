@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env_dispatch.h"
 #include "common/half.h"
 #include "common/logging.h"
 #include "runtime/thread_pool.h"
@@ -61,16 +62,10 @@ namespace
 GemmBackend
 backendFromEnv()
 {
-    const char *env = std::getenv("FOCUS_GEMM_BACKEND");
-    if (env == nullptr || *env == '\0') {
-        return GemmBackend::Portable;
-    }
-    GemmBackend b;
-    if (!parseBackend(env, b)) {
-        panic("FOCUS_GEMM_BACKEND: unknown backend '%s' "
-              "(expected portable|naive|blas)",
-              env);
-    }
+    static const char *const names[] = {"portable", "naive", "blas"};
+    const GemmBackend b = static_cast<GemmBackend>(envBackendChoice(
+        "FOCUS_GEMM_BACKEND", names, 3,
+        static_cast<int>(GemmBackend::Portable)));
     if (b == GemmBackend::Blas && !blasAvailable()) {
         panic("FOCUS_GEMM_BACKEND=blas but this binary was built "
               "without FOCUS_WITH_BLAS");
@@ -83,17 +78,10 @@ std::atomic<GemmBackend> g_backend{backendFromEnv()};
 MathBackend
 mathBackendFromEnv()
 {
-    const char *env = std::getenv("FOCUS_MATH_BACKEND");
-    if (env == nullptr || *env == '\0') {
-        return MathBackend::Exact;
-    }
-    MathBackend b;
-    if (!parseMathBackend(env, b)) {
-        panic("FOCUS_MATH_BACKEND: unknown backend '%s' "
-              "(expected exact|vector)",
-              env);
-    }
-    return b;
+    static const char *const names[] = {"exact", "vector"};
+    return static_cast<MathBackend>(envBackendChoice(
+        "FOCUS_MATH_BACKEND", names, 2,
+        static_cast<int>(MathBackend::Exact)));
 }
 
 std::atomic<MathBackend> g_math_backend{mathBackendFromEnv()};

@@ -9,6 +9,7 @@
 #include "sim/accel_model.h"
 #include "sim/area.h"
 #include "sim/gpu_model.h"
+#include "sim/systolic.h"
 
 namespace focus
 {
@@ -221,6 +222,81 @@ TEST(Area, BreakdownSharesMatchFig9c)
     EXPECT_NEAR(parts.at("sfu") / total, 0.10, 0.03);
     EXPECT_NEAR(parts.at("sec") / total, 0.019, 0.008);
     EXPECT_NEAR(parts.at("sic") / total, 0.008, 0.005);
+}
+
+/**
+ * Hand-built single-layer trace whose one SIC GEMM draws more tile
+ * lengths than the Fig. 13 recording cap (204,800 > 200,000 for the
+ * Focus geometry: 2 m-tiles x 3200 n-tiles x 32 k-sub-tiles).
+ */
+WorkloadTrace
+capOvershootTrace()
+{
+    WorkloadTrace tr;
+    tr.method = "focus";
+    tr.visual0 = 2048;
+    tr.visual_original = 2048;
+    tr.hidden = 1024;
+    tr.heads = 8;
+    tr.head_dim = 128;
+    tr.ffn_inner = 4096;
+    tr.tile_fracs = {0.3, 0.7, 0.5};
+    LayerEvents layer;
+    layer.visual_in = 2048;
+    layer.visual_out = 2048;
+    GemmEvent g;
+    g.site = GemmSite::Qkv;
+    g.m = 2048;
+    g.k = 1024;
+    g.n = 102400;
+    g.psi_in = 0.5;
+    layer.gemms.push_back(g);
+    tr.layers.push_back(layer);
+    return tr;
+}
+
+TEST(AccelModel, TileLengthRecordingStopsExactlyAtCap)
+{
+    // A whole-batch insert used to overshoot the cap by up to one
+    // GEMM's worth of entries; the insert must now truncate exactly.
+    const WorkloadTrace tr = capOvershootTrace();
+    for (const SimBackend backend :
+         {SimBackend::Walk, SimBackend::Fast}) {
+        const SimBackend saved = activeSimBackend();
+        setSimBackend(backend);
+        const RunMetrics rm =
+            simulateAccelerator(AccelConfig::focus(), tr);
+        setSimBackend(saved);
+        EXPECT_EQ(rm.tile_lengths.size(), 200000u)
+            << simBackendName(backend);
+    }
+}
+
+TEST(AccelModelDeathTest, PanicsOnNonPositiveConfigDimensions)
+{
+    const ModelProfile mp = modelProfile("Llava-Vid");
+    const DatasetProfile dp = datasetProfile("VideoMME");
+    const WorkloadTrace dense = buildDenseTrace(mp, dp);
+
+    AccelConfig bad_rows = AccelConfig::systolicArray();
+    bad_rows.array_rows = 0;
+    EXPECT_DEATH(simulateAccelerator(bad_rows, dense),
+                 "non-positive");
+
+    AccelConfig bad_cols = AccelConfig::systolicArray();
+    bad_cols.array_cols = -32;
+    EXPECT_DEATH(simulateAccelerator(bad_cols, dense),
+                 "non-positive");
+
+    AccelConfig bad_mtile = AccelConfig::focus();
+    bad_mtile.m_tile = 0;
+    EXPECT_DEATH(simulateAccelerator(bad_mtile, dense),
+                 "non-positive");
+
+    AccelConfig bad_lanes = AccelConfig::focus();
+    bad_lanes.sec_lanes = -1;
+    EXPECT_DEATH(simulateAccelerator(bad_lanes, dense),
+                 "non-positive");
 }
 
 } // namespace

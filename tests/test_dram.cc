@@ -124,5 +124,71 @@ TEST(Dram, ResetClearsState)
     EXPECT_EQ(dram.dynamicEnergyJ(), 0.0);
 }
 
+TEST(Dram, ZeroByteStreamIsFree)
+{
+    DramConfig cfg;
+    DramModel dram(cfg);
+    EXPECT_EQ(dram.streamCycles(0), 0u);
+    dram.addStreamEnergy(0);
+    EXPECT_EQ(dram.dynamicEnergyJ(), 0.0);
+    EXPECT_EQ(dram.totalBytes(), 0u);
+}
+
+TEST(Dram, SingleByteStreamRoundsUpToOneCycle)
+{
+    DramConfig cfg;
+    DramModel dram(cfg);
+    // A sub-burst transfer still occupies the bus for a cycle.
+    EXPECT_EQ(dram.streamCycles(1), 1u);
+    dram.addStreamEnergy(1);
+    // One row activation plus one byte moved.
+    EXPECT_GT(dram.dynamicEnergyJ(), 0.0);
+    EXPECT_EQ(dram.totalBytes(), 1u);
+}
+
+TEST(Dram, HugeStreamMatchesBandwidthWithoutOverflow)
+{
+    DramConfig cfg;
+    DramModel dram(cfg);
+    // > 4 GiB: must not truncate through any 32-bit intermediate.
+    const uint64_t bytes = 5ull << 30;
+    const uint64_t cycles = dram.streamCycles(bytes);
+    const double peak = cfg.bytes_per_cycle_per_channel * cfg.channels;
+    const double expect =
+        static_cast<double>(bytes) / (peak * dram.streamEfficiency());
+    EXPECT_NEAR(static_cast<double>(cycles), expect, 1.0);
+    // Far beyond what 2^32 bytes at peak bandwidth would take.
+    EXPECT_GT(cycles, static_cast<uint64_t>(
+        static_cast<double>(4ull << 30) / peak));
+}
+
+TEST(Dram, StreamCyclesMonotonicInBytes)
+{
+    DramConfig cfg;
+    DramModel dram(cfg);
+    uint64_t prev = 0;
+    for (const uint64_t bytes :
+         {0ull, 1ull, 64ull, 4096ull, 1ull << 20, 1ull << 30,
+          5ull << 30}) {
+        const uint64_t c = dram.streamCycles(bytes);
+        EXPECT_GE(c, prev) << bytes;
+        prev = c;
+    }
+}
+
+TEST(Dram, BackgroundEnergyMonotonicInCycles)
+{
+    DramConfig cfg;
+    DramModel dram(cfg);
+    EXPECT_EQ(dram.backgroundEnergyJ(0, 0.5), 0.0);
+    double prev = 0.0;
+    for (const uint64_t cycles :
+         {1ull, 1000ull, 1ull << 20, 500000000ull, 1ull << 40}) {
+        const double e = dram.backgroundEnergyJ(cycles, 0.5);
+        EXPECT_GT(e, prev) << cycles;
+        prev = e;
+    }
+}
+
 } // namespace
 } // namespace focus
