@@ -30,6 +30,7 @@ main(int argc, char **argv)
 {
     const BenchOptions bo = benchOptions(argc, argv, 4);
     benchBanner("Fig. 10: design space exploration", bo);
+    BenchRecorder rec("fig10", bo);
 
     ExperimentGrid grid(benchEvalOptions(bo));
 
@@ -118,6 +119,9 @@ main(int argc, char **argv)
             if (base == 0.0) {
                 base = lat;
             }
+            if (r.cell.tag == "1024") {
+                rec.metric("mtile_1024_norm_latency", lat / base);
+            }
             t.addRow({r.cell.tag, fmtF(lat / base, 3),
                       fmtPct(r.eval.accuracy),
                       fmtF(static_cast<double>(
@@ -154,6 +158,9 @@ main(int argc, char **argv)
             if (base == 0.0) {
                 base = lat;
             }
+            if (r.cell.tag == "222") {
+                rec.metric("block_222_norm_latency", lat / base);
+            }
             t.addRow({r.cell.tag, fmtF(lat / base, 3),
                       fmtPct(r.eval.accuracy)});
         }
@@ -175,6 +182,9 @@ main(int argc, char **argv)
             const double lat = static_cast<double>(rm.cycles);
             if (base == 0.0) {
                 base = lat;
+            }
+            if (acc == 64) {
+                rec.metric("accum_64_norm_latency", lat / base);
             }
             t.addRow({std::to_string(acc), fmtF(lat / base, 3)});
         }

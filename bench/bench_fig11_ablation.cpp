@@ -19,6 +19,7 @@ main(int argc, char **argv)
 {
     const BenchOptions bo = benchOptions(argc, argv, 6);
     benchBanner("Fig. 11: ablation (SEC / SIC contributions)", bo);
+    BenchRecorder rec("fig11", bo);
 
     ExperimentGrid grid(benchEvalOptions(bo));
     const size_t sa_id =
@@ -53,5 +54,11 @@ main(int argc, char **argv)
     std::printf("SEC over CMC: %.2fx (paper 1.58x); "
                 "SIC on top of SEC: %.2fx (paper 1.44x)\n",
                 s_sec / s_cmc, s_full / s_sec);
+
+    rec.metric("speedup_cmc", s_cmc);
+    rec.metric("speedup_sec_only", s_sec);
+    rec.metric("speedup_sec_sic", s_full);
+    rec.metric("sec_over_cmc", s_sec / s_cmc);
+    rec.metric("sic_over_sec", s_full / s_sec);
     return 0;
 }

@@ -22,6 +22,7 @@ main(int argc, char **argv)
     const BenchOptions bo = benchOptions(argc, argv, 5);
     benchBanner("Fig. 9(a): speedup over the dense systolic array",
                 bo);
+    BenchRecorder rec("fig9a", bo);
 
     TextTable table({"Model", "Dataset", "SA", "GPU", "Adaptiv",
                      "CMC", "GPU+FF", "Ours"});
@@ -120,5 +121,11 @@ main(int argc, char **argv)
                 g_ours.mean() / g_cmc.mean(),
                 g_ours.mean() / g_gpu.mean(),
                 g_ours.mean() / g_ff.mean());
+
+    rec.metric("geomean_gpu", g_gpu.mean());
+    rec.metric("geomean_adaptiv", g_ada.mean());
+    rec.metric("geomean_cmc", g_cmc.mean());
+    rec.metric("geomean_gpu_framefusion", g_ff.mean());
+    rec.metric("geomean_focus", g_ours.mean());
     return 0;
 }

@@ -21,6 +21,7 @@ main(int argc, char **argv)
 {
     const BenchOptions bo = benchOptions(argc, argv, 10);
     benchBanner("Table II: accuracy and computation sparsity", bo);
+    BenchRecorder rec("table2", bo);
 
     TextTable table({"Model", "Dataset", "Metric", "Ori.", "FF",
                      "Ada.", "CMC", "Ours"});
@@ -78,5 +79,9 @@ main(int argc, char **argv)
     std::printf("Focus mean accuracy drop vs dense: %.2f%% "
                 "(paper: 1.20%%)\n",
                 focus_acc_drop_sum / cells * 100.0);
+
+    rec.metric("focus_mean_sparsity", focus_sparsity_sum / cells);
+    rec.metric("focus_mean_accuracy_drop",
+               focus_acc_drop_sum / cells);
     return 0;
 }

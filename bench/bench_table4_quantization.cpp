@@ -20,6 +20,7 @@ main(int argc, char **argv)
 {
     const BenchOptions bo = benchOptions(argc, argv, 8);
     benchBanner("Table IV: INT8 quantization synergy", bo);
+    BenchRecorder rec("table4", bo);
 
     TextTable table({"Model", "Dataset", "DenseAcc", "DenseDeg",
                      "OursAcc", "OursDeg", "Sparsity", "SpDeg"});
@@ -73,5 +74,9 @@ main(int argc, char **argv)
                 "(paper: ~0.5%%)\n", acc_deg_sum / cells * 100.0);
     std::printf("Mean sparsity change under INT8: %.2f%% "
                 "(paper: ~0.13%%)\n", sp_deg_sum / cells * 100.0);
+
+    rec.metric("mean_focus_int8_accuracy_degradation",
+               acc_deg_sum / cells);
+    rec.metric("mean_sparsity_change_int8", sp_deg_sum / cells);
     return 0;
 }

@@ -19,18 +19,26 @@
 #ifndef FOCUS_BENCH_BENCH_UTIL_H
 #define FOCUS_BENCH_BENCH_UTIL_H
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/logging.h"
 #include "eval/experiment.h"
 #include "eval/evaluator.h"
+#include "eval/func_cache.h"
 #include "runtime/thread_pool.h"
 #include "sim/gpu_model.h"
 #include "sim/systolic.h"
 #include "tensor/kernels.h"
+
+#ifndef FOCUS_GIT_REV
+#define FOCUS_GIT_REV "unknown"
+#endif
 
 namespace focus
 {
@@ -147,12 +155,100 @@ benchBanner(const char *what, const BenchOptions &bo)
 {
     std::printf("=== %s ===\n", what);
     std::printf("(synthetic reproduction; %d samples per cell; "
-                "%d threads; %s math; %s sim; see EXPERIMENTS.md for "
-                "paper-vs-measured)\n\n",
+                "%d threads; %s math; %s sim; %s cache; see "
+                "EXPERIMENTS.md for paper-vs-measured)\n\n",
                 bo.samples, ThreadPool::global().threads(),
                 kernels::mathBackendName(kernels::activeMathBackend()),
-                simBackendName(activeSimBackend()));
+                simBackendName(activeSimBackend()),
+                funcCacheModeName(activeFuncCacheMode()));
 }
+
+/**
+ * Machine-readable bench snapshot: wall clock, configuration, and the
+ * headline metrics a bench prints, written as BENCH_<name>.json when
+ * the recorder goes out of scope.  The FOCUS_BENCH_JSON environment
+ * variable controls emission: unset writes into the current
+ * directory, "off" disables it, any other value is the destination
+ * directory.  Emission is silent — bench stdout below the banner must
+ * stay bit-identical across configurations, so the JSON (which embeds
+ * wall-clock and backend names) never touches stdout.  CI compares a
+ * fresh snapshot against the checked-in one with
+ * bench/compare_bench_json.py: metrics must match exactly (they are
+ * deterministic), wall clock within a tolerance band.
+ */
+class BenchRecorder
+{
+  public:
+    BenchRecorder(std::string name, const BenchOptions &bo)
+        : name_(std::move(name)), samples_(bo.samples),
+          start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    BenchRecorder(const BenchRecorder &) = delete;
+    BenchRecorder &operator=(const BenchRecorder &) = delete;
+
+    /** Record one headline metric (insertion order is preserved). */
+    void
+    metric(const std::string &key, double value)
+    {
+        metrics_.emplace_back(key, value);
+    }
+
+    ~BenchRecorder()
+    {
+        const char *dest = std::getenv("FOCUS_BENCH_JSON");
+        if (dest != nullptr && std::strcmp(dest, "off") == 0) {
+            return;
+        }
+        const double wall_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+        std::string path;
+        if (dest != nullptr && dest[0] != '\0') {
+            path = std::string(dest) + "/";
+        }
+        path += "BENCH_" + name_ + ".json";
+        FILE *f = std::fopen(path.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr,
+                         "bench: cannot write snapshot %s (skipped)\n",
+                         path.c_str());
+            return;
+        }
+        std::fprintf(f, "{\n  \"bench\": \"%s\",\n", name_.c_str());
+        std::fprintf(f, "  \"git_rev\": \"%s\",\n", FOCUS_GIT_REV);
+        std::fprintf(
+            f,
+            "  \"config\": {\n"
+            "    \"samples\": %d,\n    \"threads\": %d,\n"
+            "    \"gemm_backend\": \"%s\",\n"
+            "    \"math_backend\": \"%s\",\n"
+            "    \"sim_backend\": \"%s\",\n"
+            "    \"func_cache\": \"%s\"\n  },\n",
+            samples_, ThreadPool::global().threads(),
+            kernels::backendName(kernels::activeBackend()),
+            kernels::mathBackendName(kernels::activeMathBackend()),
+            simBackendName(activeSimBackend()),
+            funcCacheModeName(activeFuncCacheMode()));
+        std::fprintf(f, "  \"wall_ms\": %.3f,\n", wall_ms);
+        std::fprintf(f, "  \"metrics\": {");
+        for (size_t i = 0; i < metrics_.size(); ++i) {
+            std::fprintf(f, "%s\n    \"%s\": %.17g",
+                         i == 0 ? "" : ",", metrics_[i].first.c_str(),
+                         metrics_[i].second);
+        }
+        std::fprintf(f, "\n  }\n}\n");
+        std::fclose(f);
+    }
+
+  private:
+    std::string name_;
+    int samples_;
+    std::chrono::steady_clock::time_point start_;
+    std::vector<std::pair<std::string, double>> metrics_;
+};
 
 } // namespace focus
 

@@ -2,24 +2,69 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 
 #include "common/logging.h"
+#include "eval/func_cache.h"
 #include "runtime/thread_pool.h"
 
 namespace focus
 {
 
+/**
+ * Lazily computed per-Evaluator state.  Heap-allocated behind a
+ * shared_ptr so Evaluator stays copyable (copies share the memo) and
+ * const member functions can fill it under the mutex.
+ */
+struct EvalMemos
+{
+    std::mutex mu;
+    bool samples_ready = false;
+    std::vector<VideoSample> samples;
+    bool dense_ready = false;
+    double dense_macs = 0.0;
+};
+
 Evaluator::Evaluator(const std::string &model_name,
                      const std::string &dataset_name,
                      const EvalOptions &opts)
-    : mp_(::focus::modelProfile(model_name)),
+    : model_name_(model_name),
+      dataset_name_(dataset_name),
+      mp_(::focus::modelProfile(model_name)),
       dp_(::focus::datasetProfile(dataset_name)),
       opts_(opts),
       gen_(dp_, mp_,
            opts.seed ^ mp_.seed_salt ^
                (std::hash<std::string>{}(dataset_name) * 0x9e37ull)),
-      model_(mp_, (opts.seed ^ 0x1234567890abcdefull) + mp_.seed_salt)
+      model_(mp_, (opts.seed ^ 0x1234567890abcdefull) + mp_.seed_salt),
+      memos_(std::make_shared<EvalMemos>())
 {
+}
+
+const std::vector<VideoSample> &
+Evaluator::cachedSamples() const
+{
+    std::lock_guard<std::mutex> lock(memos_->mu);
+    if (!memos_->samples_ready) {
+        memos_->samples.reserve(static_cast<size_t>(opts_.samples));
+        for (int s = 0; s < opts_.samples; ++s) {
+            memos_->samples.push_back(
+                gen_.sample(static_cast<uint64_t>(s)));
+        }
+        memos_->samples_ready = true;
+    }
+    return memos_->samples;
+}
+
+double
+Evaluator::denseTraceMacs() const
+{
+    std::lock_guard<std::mutex> lock(memos_->mu);
+    if (!memos_->dense_ready) {
+        memos_->dense_macs = buildDenseTrace(mp_, dp_).totalMacs();
+        memos_->dense_ready = true;
+    }
+    return memos_->dense_macs;
 }
 
 MethodEval
@@ -30,7 +75,91 @@ Evaluator::runFunctional(const MethodConfig &method,
         panic("Evaluator::runFunctional: EvalOptions::samples must be "
               "positive (got %d)", opts_.samples);
     }
+    if (activeFuncCacheMode() == FuncCacheMode::Off) {
+        return runFunctionalDirect(method, pool);
+    }
+    return FunctionalCache::instance().getOrCompute(
+        functionalCacheKey(model_name_, dataset_name_, opts_, method),
+        [&] { return runFunctionalBatched(method, pool); });
+}
 
+MethodEval
+Evaluator::runFunctionalDirect(const MethodConfig &method,
+                               ThreadPool *pool) const
+{
+    // Per-sample forward passes fan out across the pool; each task
+    // writes only its own slot.  The aggregation then runs serially
+    // in sample order, so every floating-point sum is evaluated in
+    // exactly the order the serial loop used — results are
+    // bit-identical at any thread count (threads=1 never spawns a
+    // thread at all).
+    std::vector<ForwardResult> forwards(
+        static_cast<size_t>(opts_.samples));
+    (pool ? *pool : ThreadPool::global()).parallelFor(
+        opts_.samples, [&](int64_t s) {
+            const VideoSample sample =
+                gen_.sample(static_cast<uint64_t>(s));
+            forwards[static_cast<size_t>(s)] =
+                model_.forward(sample, method, gen_.bank());
+        });
+    return aggregateForwards(method, forwards);
+}
+
+MethodEval
+Evaluator::runFunctionalBatched(const MethodConfig &method,
+                                ThreadPool *pool) const
+{
+    // Contiguous chunks of samples packed through
+    // VlmModel::forwardBatch.  Chunking only affects which GEMM a
+    // sample's rows ride in — forwardBatch is bit-identical to
+    // forward() at every batch split, so neither the chunk count nor
+    // the thread count ever changes a result.  The chunk size is
+    // locality-aware: packed projection panels cost ~1 KiB per token
+    // row across xp/qp/kp/vp, and each sample's per-head probability
+    // matrices already claim most of L2, so batching pays off only
+    // while the added panel rows stay under a small budget.  Video
+    // samples (hundreds of rows) thus run near batch 1, while short
+    // image samples pack several per GEMM.  At least one chunk per
+    // pool thread keeps the fan-out saturated.
+    const std::vector<VideoSample> &samples = cachedSamples();
+    const int64_t n = static_cast<int64_t>(samples.size());
+    ThreadPool &tp = pool ? *pool : ThreadPool::global();
+    constexpr int64_t kPackedRowBudget = 512;
+    const int64_t rows0 = std::max<int64_t>(
+        1, samples.front().numVisual() + samples.front().numText());
+    const int64_t per_batch =
+        std::max<int64_t>(1, kPackedRowBudget / rows0);
+    const int64_t chunks = std::min<int64_t>(
+        n, std::max<int64_t>(tp.threads(),
+                             (n + per_batch - 1) / per_batch));
+    std::vector<ForwardResult> forwards(static_cast<size_t>(n));
+    tp.parallelFor(chunks, [&](int64_t ci) {
+        const int64_t lo = ci * n / chunks;
+        const int64_t hi = (ci + 1) * n / chunks;
+        if (lo >= hi) {
+            return;
+        }
+        std::vector<const VideoSample *> ptrs(
+            static_cast<size_t>(hi - lo));
+        for (int64_t s = lo; s < hi; ++s) {
+            ptrs[static_cast<size_t>(s - lo)] =
+                &samples[static_cast<size_t>(s)];
+        }
+        std::vector<ForwardResult> part = model_.forwardBatch(
+            ptrs.data(), hi - lo, method, gen_.bank());
+        for (int64_t s = lo; s < hi; ++s) {
+            forwards[static_cast<size_t>(s)] =
+                std::move(part[static_cast<size_t>(s - lo)]);
+        }
+    });
+    return aggregateForwards(method, forwards);
+}
+
+MethodEval
+Evaluator::aggregateForwards(
+    const MethodConfig &method,
+    const std::vector<ForwardResult> &forwards) const
+{
     MethodEval ev;
     ev.method = method.name();
 
@@ -43,22 +172,6 @@ Evaluator::runFunctional(const MethodConfig &method,
     agg.psi_oproj.assign(static_cast<size_t>(L), 0.0);
     agg.psi_ffn.assign(static_cast<size_t>(L), 0.0);
     agg.psi_down.assign(static_cast<size_t>(L), 0.0);
-
-    // Per-sample forward passes fan out across the pool; each task
-    // writes only its own slot.  The aggregation below then runs
-    // serially in sample order, so every floating-point sum is
-    // evaluated in exactly the order the serial loop used — results
-    // are bit-identical at any thread count (threads=1 never spawns
-    // a thread at all).
-    std::vector<ForwardResult> forwards(
-        static_cast<size_t>(opts_.samples));
-    (pool ? *pool : ThreadPool::global()).parallelFor(
-        opts_.samples, [&](int64_t s) {
-            const VideoSample sample =
-                gen_.sample(static_cast<uint64_t>(s));
-            forwards[static_cast<size_t>(s)] =
-                model_.forward(sample, method, gen_.bank());
-        });
 
     int correct = 0;
     double sparsity_sum = 0.0;
@@ -148,8 +261,9 @@ Evaluator::traceSparsity(const MethodConfig &method,
                          const MethodEval &eval) const
 {
     const WorkloadTrace tr = buildFullTrace(method, eval);
-    const WorkloadTrace dense = buildDenseTrace(mp_, dp_);
-    const double dense_macs = dense.totalMacs();
+    // buildDenseTrace is a pure function of (mp_, dp_): memoize its
+    // MAC total instead of rebuilding the dense trace per call.
+    const double dense_macs = denseTraceMacs();
     return dense_macs <= 0.0 ? 0.0 : 1.0 - tr.totalMacs() / dense_macs;
 }
 

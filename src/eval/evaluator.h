@@ -9,6 +9,7 @@
 #define FOCUS_EVAL_EVALUATOR_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,7 @@
 namespace focus
 {
 class ThreadPool;
+struct EvalMemos;
 }
 
 namespace focus
@@ -56,6 +58,12 @@ class Evaluator
      * Functional run: accuracy, sparsity, per-layer aggregates.
      * Samples fan out across @p pool (the global pool when null);
      * aggregates are bit-identical at every thread count.
+     *
+     * With FOCUS_FUNC_CACHE=on (the default) the result is memoized
+     * in the process-wide FunctionalCache (eval/func_cache.h) and the
+     * samples run through VlmModel::forwardBatch; =off reproduces the
+     * historical per-sample path with no reuse layer.  Both paths
+     * return bit-identical values.
      */
     MethodEval runFunctional(const MethodConfig &method,
                              ThreadPool *pool = nullptr) const;
@@ -106,11 +114,38 @@ class Evaluator
     std::vector<MethodConfig> standardMethods() const;
 
   private:
+    std::string model_name_;
+    std::string dataset_name_;
     ModelProfile mp_;
     DatasetProfile dp_;
     EvalOptions opts_;
     VideoGenerator gen_;
     VlmModel model_;
+
+    /**
+     * Per-Evaluator memos (generated samples, dense-trace MACs),
+     * shared across copies; defined in evaluator.cc.
+     */
+    std::shared_ptr<EvalMemos> memos_;
+
+    /** Historical per-sample functional run (FOCUS_FUNC_CACHE=off). */
+    MethodEval runFunctionalDirect(const MethodConfig &method,
+                                   ThreadPool *pool) const;
+
+    /** Batched functional run (cache-miss path when =on). */
+    MethodEval runFunctionalBatched(const MethodConfig &method,
+                                    ThreadPool *pool) const;
+
+    /** Serial sample-order aggregation shared by both paths. */
+    MethodEval
+    aggregateForwards(const MethodConfig &method,
+                      const std::vector<ForwardResult> &forwards) const;
+
+    /** All opts_.samples QA samples, generated once per Evaluator. */
+    const std::vector<VideoSample> &cachedSamples() const;
+
+    /** Dense-trace MACs, computed once per Evaluator. */
+    double denseTraceMacs() const;
 
     double opsAtKeep(double keep) const;
 };

@@ -303,6 +303,33 @@ gemmBlock(int64_t i0, int64_t mb, int64_t n, int64_t k, const float *a,
     }
 }
 
+// -----------------------------------------------------------------
+// dot4 / dot4x4: FP contraction pinned OFF.
+//
+// qkScoresCausalF32 mixes the two kernels inside one probability
+// matrix, and the batched forward path (vlm/model.cc forwardBatch)
+// promises bit-identity with the per-sample dotRowsScaled arithmetic.
+// Two separately compiled bodies make the same mul+add-vs-FMA
+// contraction choices only by codegen luck — under the project-wide
+// -ffp-contract=fast, GCC fused some of dot4x4's accumulations while
+// leaving dot4's vector loop as mul+add, which surfaced as 1-ulp
+// score drift between the batched and per-sample paths.  Pinning
+// contraction off for exactly this pair turns that accident into a
+// contract: each product rounds before it accumulates, in every
+// clone, on every compiler.  Both kernels are only ever called with
+// k = headDim (a multiple of 4), so the pinned scalar tails never
+// run in practice and the pin does not perturb historical outputs.
+// -----------------------------------------------------------------
+#if defined(__clang__)
+#define FOCUS_FP_CONTRACT_OFF _Pragma("clang fp contract(off)")
+#else
+#define FOCUS_FP_CONTRACT_OFF
+#endif
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC push_options
+#pragma GCC optimize("fp-contract=off")
+#endif
+
 /**
  * Four-row dot microkernel preserving ops.h `dot`'s 4-way lane split:
  * per output, lane L accumulates terms k = L, L+4, L+8, ... and the
@@ -315,6 +342,7 @@ dot4(const float *FOCUS_RESTRICT q, const float *FOCUS_RESTRICT b0,
      const float *FOCUS_RESTRICT b3, int64_t k, float scale,
      float *FOCUS_RESTRICT out)
 {
+    FOCUS_FP_CONTRACT_OFF
     float l0[4] = {}, l1[4] = {}, l2[4] = {}, l3[4] = {};
     int64_t p = 0;
     for (; p + 4 <= k; p += 4) {
@@ -338,6 +366,83 @@ dot4(const float *FOCUS_RESTRICT q, const float *FOCUS_RESTRICT b0,
     out[2] = ((l2[0] + l2[1]) + (l2[2] + l2[3])) * scale;
     out[3] = ((l3[0] + l3[1]) + (l3[2] + l3[3])) * scale;
 }
+
+/**
+ * Fused 4-query x 4-key block of `dot4`: out_r[j] for query r, key j
+ * uses exactly dot4's per-element lane arithmetic (lane e accumulates
+ * k = e, e+4, ...; scalar tail folds into lane 0; final sum
+ * (l0+l1)+(l2+l3) times scale) — guaranteed, not assumed, because
+ * contraction is pinned off for this pair (see the comment above
+ * dot4).  Fusing the queries loads each key group once per *block*
+ * instead of once per query — the q/k loads, not the arithmetic,
+ * bound dot4 on the causal QK^T interior.
+ */
+FOCUS_KERNEL_CLONES void
+dot4x4(const float *FOCUS_RESTRICT q0, const float *FOCUS_RESTRICT q1,
+       const float *FOCUS_RESTRICT q2, const float *FOCUS_RESTRICT q3,
+       const float *FOCUS_RESTRICT b0, const float *FOCUS_RESTRICT b1,
+       const float *FOCUS_RESTRICT b2, const float *FOCUS_RESTRICT b3,
+       int64_t k, float scale, float *FOCUS_RESTRICT o0,
+       float *FOCUS_RESTRICT o1, float *FOCUS_RESTRICT o2,
+       float *FOCUS_RESTRICT o3)
+{
+    FOCUS_FP_CONTRACT_OFF
+    float a0[4][4] = {}, a1[4][4] = {}, a2[4][4] = {}, a3[4][4] = {};
+    int64_t p = 0;
+    for (; p + 4 <= k; p += 4) {
+        for (int64_t e = 0; e < 4; ++e) {
+            const float k0 = b0[p + e], k1 = b1[p + e];
+            const float k2 = b2[p + e], k3 = b3[p + e];
+            const float v0 = q0[p + e], v1 = q1[p + e];
+            const float v2 = q2[p + e], v3 = q3[p + e];
+            a0[0][e] += v0 * k0;
+            a0[1][e] += v0 * k1;
+            a0[2][e] += v0 * k2;
+            a0[3][e] += v0 * k3;
+            a1[0][e] += v1 * k0;
+            a1[1][e] += v1 * k1;
+            a1[2][e] += v1 * k2;
+            a1[3][e] += v1 * k3;
+            a2[0][e] += v2 * k0;
+            a2[1][e] += v2 * k1;
+            a2[2][e] += v2 * k2;
+            a2[3][e] += v2 * k3;
+            a3[0][e] += v3 * k0;
+            a3[1][e] += v3 * k1;
+            a3[2][e] += v3 * k2;
+            a3[3][e] += v3 * k3;
+        }
+    }
+    for (; p < k; ++p) {
+        const float k0 = b0[p], k1 = b1[p], k2 = b2[p], k3 = b3[p];
+        a0[0][0] += q0[p] * k0;
+        a0[1][0] += q0[p] * k1;
+        a0[2][0] += q0[p] * k2;
+        a0[3][0] += q0[p] * k3;
+        a1[0][0] += q1[p] * k0;
+        a1[1][0] += q1[p] * k1;
+        a1[2][0] += q1[p] * k2;
+        a1[3][0] += q1[p] * k3;
+        a2[0][0] += q2[p] * k0;
+        a2[1][0] += q2[p] * k1;
+        a2[2][0] += q2[p] * k2;
+        a2[3][0] += q2[p] * k3;
+        a3[0][0] += q3[p] * k0;
+        a3[1][0] += q3[p] * k1;
+        a3[2][0] += q3[p] * k2;
+        a3[3][0] += q3[p] * k3;
+    }
+    for (int64_t j = 0; j < 4; ++j) {
+        o0[j] = ((a0[j][0] + a0[j][1]) + (a0[j][2] + a0[j][3])) * scale;
+        o1[j] = ((a1[j][0] + a1[j][1]) + (a1[j][2] + a1[j][3])) * scale;
+        o2[j] = ((a2[j][0] + a2[j][1]) + (a2[j][2] + a2[j][3])) * scale;
+        o3[j] = ((a3[j][0] + a3[j][1]) + (a3[j][2] + a3[j][3])) * scale;
+    }
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC pop_options
+#endif
 
 /** Single-row remainder of dot4 (same lane split as `dot`). */
 FOCUS_KERNEL_CLONES float
@@ -990,6 +1095,74 @@ dotRowsScaled(const float *q, const float *b, int64_t ldb, int64_t rows,
     }
     for (; j < rows; ++j) {
         out[j] = dot1(q, b + j * ldb, k) * scale;
+    }
+}
+
+void
+qkScoresCausalF32(const float *q, int64_t ldq, const float *keys,
+                  int64_t ldk, int64_t rows, int64_t k, float scale,
+                  float *out, int64_t ldo)
+{
+    // Four query rows share one sweep over their common causal key
+    // range; key groups stay 4-aligned from j = 0, so every element
+    // is produced by the same dot4/dot1 call shape dotRowsScaled
+    // would have used.
+    constexpr int64_t kQt = 4;
+    int64_t i0 = 0;
+    for (; i0 + kQt <= rows; i0 += kQt) {
+        const int64_t shared4 = (i0 + 1) & ~int64_t{3};
+        const float *q0 = q + i0 * ldq;
+        const float *q1 = q0 + ldq;
+        const float *q2 = q1 + ldq;
+        const float *q3 = q2 + ldq;
+        for (int64_t j = 0; j < shared4; j += 4) {
+            const float *base = keys + j * ldk;
+            dot4x4(q0, q1, q2, q3, base, base + ldk, base + 2 * ldk,
+                   base + 3 * ldk, k, scale, out + i0 * ldo + j,
+                   out + (i0 + 1) * ldo + j, out + (i0 + 2) * ldo + j,
+                   out + (i0 + 3) * ldo + j);
+        }
+        for (int64_t r = 0; r < kQt; ++r) {
+            const int64_t count = i0 + r + 1;
+            const float *qr = q + (i0 + r) * ldq;
+            float *orow = out + (i0 + r) * ldo;
+            int64_t j = shared4;
+            for (; j + 4 <= count; j += 4) {
+                const float *base = keys + j * ldk;
+                dot4(qr, base, base + ldk, base + 2 * ldk,
+                     base + 3 * ldk, k, scale, orow + j);
+            }
+            for (; j < count; ++j) {
+                orow[j] = dot1(qr, keys + j * ldk, k) * scale;
+            }
+        }
+    }
+    for (; i0 < rows; ++i0) {
+        dotRowsScaled(q + i0 * ldq, keys, ldk, i0 + 1, k, scale,
+                      out + i0 * ldo);
+    }
+}
+
+FOCUS_KERNEL_CLONES void
+pvCausalF32(int64_t m, int64_t n, const float *p, int64_t ldp,
+            const int64_t *rowmap, const float *v, int64_t ldv,
+            float *out, int64_t ldo)
+{
+    for (int64_t r = 0; r < m; ++r) {
+        const int64_t src = rowmap ? rowmap[r] : r;
+        const float *FOCUS_RESTRICT prow = p + src * ldp;
+        float *FOCUS_RESTRICT orow = out + r * ldo;
+        for (int64_t c = 0; c < n; ++c) {
+            orow[c] = 0.0f;
+        }
+        const int64_t lim = src + 1;
+        for (int64_t j = 0; j < lim; ++j) {
+            const float pj = prow[j];
+            const float *FOCUS_RESTRICT vrow = v + j * ldv;
+            for (int64_t c = 0; c < n; ++c) {
+                orow[c] += pj * vrow[c];
+            }
+        }
     }
 }
 

@@ -243,6 +243,43 @@ void dotRowsScaled(const float *q, const float *b, int64_t ldb,
                    int64_t rows, int64_t k, float scale, float *out);
 
 /**
+ * Causal attention scores for one head slice, query-row tiled:
+ * out[i*ldo + j] = dot(q + i*ldq, keys + j*ldk, k) * scale for
+ * j in [0, i+1), i in [0, rows).  Entries with j > i are NOT written.
+ *
+ * Per element this is exactly the `dotRowsScaled` arithmetic (the
+ * dot4/dot1 lane split with groups of four key rows aligned to
+ * j = 0), so a row computed here is bit-identical to a
+ * `dotRowsScaled(q_i, keys, ldk, i+1, ...)` call.  The tiling only
+ * reorders *which* (i, j) pair is computed when: four query rows
+ * share one sweep over their common key range, so the key panel is
+ * streamed from cache once per tile instead of once per row (the
+ * QK^T interior was the top profile entry of the per-sample path).
+ */
+void qkScoresCausalF32(const float *q, int64_t ldq, const float *keys,
+                       int64_t ldk, int64_t rows, int64_t k,
+                       float scale, float *out, int64_t ldo);
+
+/**
+ * Causal P*V for one head slice with an optional row gather map:
+ * for each output row r in [0, m), with src = rowmap ? rowmap[r] : r,
+ *
+ *   out[r*ldo + c] = sum_{j=0}^{src} p[src*ldp + j] * v[j*ldv + c]
+ *
+ * accumulated in ascending-j order with a single accumulator per
+ * element — the `gemmF32` reference order.  The j-range stops at the
+ * causal limit src+1: rows of P come out of a causal softmax, so
+ * every skipped p[src][j] (j > src) is exactly +-0 and the full-range
+ * gemmF32 product adds only exact zeros beyond the limit (the same
+ * argument that makes `gemmNaiveF32`'s zero-skip bit-identical).
+ * Skipping them halves the PV MACs and avoids packing the (rows x
+ * rows) probability matrix entirely.
+ */
+void pvCausalF32(int64_t m, int64_t n, const float *p, int64_t ldp,
+                 const int64_t *rowmap, const float *v, int64_t ldv,
+                 float *out, int64_t ldo);
+
+/**
  * INT8 GEMM with per-row / per-output-channel scales:
  * C[i][j] = (sum_k a[i][k]*bt[j][k]) * a_scales[i] * b_scales[j].
  * A is (m x k) int8 row-major, BT is (n x k) int8 row-major (i.e. B

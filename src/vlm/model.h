@@ -98,6 +98,24 @@ class VlmModel
                           const MethodConfig &method,
                           const PrototypeBank &bank) const;
 
+    /**
+     * Run a batch of samples under one method, packing the samples'
+     * rows through the projection / FFN / readout GEMMs of the
+     * kernel tier (tensor/kernels.h) so per-sample small GEMMs
+     * become a few large ones, with the attention interiors on the
+     * query-row-tiled causal kernels.  Results are bit-identical to
+     * calling forward() per sample at every batch split: GEMM output
+     * rows are independent (per-element ascending-k accumulation),
+     * the causal QK^T/PV kernels preserve the per-element dot4/PV
+     * order, and everything per-sample (softmax, SEC, SIC, readout)
+     * runs on the same per-sample buffers as the unbatched path.
+     * Used by Evaluator::runFunctional when FOCUS_FUNC_CACHE=on.
+     */
+    std::vector<ForwardResult>
+    forwardBatch(const VideoSample *const *samples, int64_t count,
+                 const MethodConfig &method,
+                 const PrototypeBank &bank) const;
+
     const ModelProfile &profile() const { return prof_; }
 
     /**
