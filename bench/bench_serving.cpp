@@ -29,7 +29,8 @@ namespace
 
 void
 addPolicyRow(TextTable &table, const char *process,
-             const ServingReport &rep, int max_batch)
+             const ServingReport &rep, int max_batch,
+             BenchRecorder &rec)
 {
     table.addRow({rep.policy, process, std::to_string(max_batch),
                   std::to_string(rep.batches.size()),
@@ -38,6 +39,11 @@ addPolicyRow(TextTable &table, const char *process,
                   fmtF(rep.latency.p50, 1), fmtF(rep.latency.p95, 1),
                   fmtF(rep.latency.p99, 1),
                   fmtPct(rep.slo_attainment)});
+    const std::string tag =
+        std::string(process) + "_" + rep.policy;
+    rec.metric(tag + "_throughput_rps", rep.throughput_rps);
+    rec.metric(tag + "_p95_s", rep.latency.p95);
+    rec.metric(tag + "_slo", rep.slo_attainment);
 }
 
 } // namespace
@@ -74,6 +80,7 @@ main(int argc, char **argv)
 
     ServingSimulator sim(queue, AccelConfig::focus(),
                          benchEvalOptions(bo));
+    BenchRecorder rec("serving", bo);
 
     // Dynamic-batching timeout: the former holds an open batch for
     // up to ~3 mean batch-of-1 service times, trading a bounded
@@ -87,25 +94,26 @@ main(int argc, char **argv)
     SchedulerConfig single;
     single.policy = BatchPolicy::Single;
     single.max_batch = 1;
-    addPolicyRow(table, "open", sim.run(single), 1);
+    addPolicyRow(table, "open", sim.run(single), 1, rec);
 
     SchedulerConfig fixed;
     fixed.policy = BatchPolicy::FixedSize;
     fixed.max_batch = max_batch;
-    addPolicyRow(table, "open", sim.run(fixed), max_batch);
+    addPolicyRow(table, "open", sim.run(fixed), max_batch, rec);
 
     SchedulerConfig timeout;
     timeout.policy = BatchPolicy::Timeout;
     timeout.max_batch = max_batch;
     timeout.timeout_s = timeout_s;
-    addPolicyRow(table, "open", sim.run(timeout), max_batch);
+    addPolicyRow(table, "open", sim.run(timeout), max_batch,
+                 rec);
 
     SchedulerConfig conc;
     conc.policy = BatchPolicy::ConcAware;
     conc.max_batch = max_batch;
     conc.timeout_s = timeout_s;
     const ServingReport conc_rep = sim.run(conc);
-    addPolicyRow(table, "open", conc_rep, max_batch);
+    addPolicyRow(table, "open", conc_rep, max_batch, rec);
 
     // Closed loop: the same mix issued by a finite client
     // population; offered load self-limits to the service rate.
@@ -119,7 +127,7 @@ main(int argc, char **argv)
     closed_sched.policy = BatchPolicy::Timeout;
     closed_sched.max_batch = max_batch;
     addPolicyRow(table, "closed", closed_sim.run(closed_sched),
-                 max_batch);
+                 max_batch, rec);
 
     std::printf("%s\n", table.render().c_str());
     std::printf("(timeout policies use timeout = %.1f s; closed "

@@ -51,15 +51,20 @@ struct BenchOptions
     int batch = 0;   ///< explicit --batch=N (0 = bench default)
     /** Explicit --arrival-rate=R in req/s (0 = bench default). */
     double arrival_rate = 0.0;
+    /** Explicit --replicas=N sweep ceiling (0 = bench default). */
+    int replicas = 0;
+    /** Explicit --requests=N stream length (0 = bench default). */
+    int requests = 0;
 };
 
 /**
- * Parse "[samples] [--threads=N] [--batch=N] [--arrival-rate=R]"
- * with the environment fallbacks described in the file header, and
- * size the global pool when --threads is given.  The batch /
- * arrival-rate pair is consumed by the serving bench; every bench
- * parses (and rejects malformed values of) it so a shared wrapper
- * script can pass one flag set.
+ * Parse "[samples] [--threads=N] [--batch=N] [--arrival-rate=R]
+ * [--replicas=N] [--requests=N]" with the environment fallbacks
+ * described in the file header, and size the global pool when
+ * --threads is given.  The batch / arrival-rate / replicas /
+ * requests serving knobs are consumed by the serving and cluster
+ * benches; every bench parses (and rejects malformed values of)
+ * them so a shared wrapper script can pass one flag set.
  */
 inline BenchOptions
 benchOptions(int argc, char **argv, int fallback_samples)
@@ -90,12 +95,31 @@ benchOptions(int argc, char **argv, int fallback_samples)
                 fatal("invalid arrival rate in '%s' (want a positive "
                       "req/s value)", argv[i]);
             }
+        } else if (std::strncmp(argv[i], "--replicas=", 11) == 0) {
+            char *end = nullptr;
+            bo.replicas = static_cast<int>(
+                std::strtol(argv[i] + 11, &end, 10));
+            if (end == argv[i] + 11 || *end != '\0' ||
+                bo.replicas < 1) {
+                fatal("invalid replica count in '%s' (want a "
+                      "positive integer)", argv[i]);
+            }
+        } else if (std::strncmp(argv[i], "--requests=", 11) == 0) {
+            char *end = nullptr;
+            bo.requests = static_cast<int>(
+                std::strtol(argv[i] + 11, &end, 10));
+            if (end == argv[i] + 11 || *end != '\0' ||
+                bo.requests < 1) {
+                fatal("invalid request count in '%s' (want a "
+                      "positive integer)", argv[i]);
+            }
         } else if (argv[i][0] == '-' && argv[i][1] != '\0' &&
                    (argv[i][1] < '0' || argv[i][1] > '9')) {
             // Reject unknown flags loudly: a typo like --thread=4
             // must not silently become the sample count.
             fatal("unknown option '%s' (usage: %s [samples] "
-                  "[--threads=N] [--batch=N] [--arrival-rate=R])",
+                  "[--threads=N] [--batch=N] [--arrival-rate=R] "
+                  "[--replicas=N] [--requests=N])",
                   argv[i], argv[0]);
         } else if (!have_samples) {
             bo.samples = std::max(1, std::atoi(argv[i]));

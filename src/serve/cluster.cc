@@ -1,0 +1,602 @@
+#include "serve/cluster.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/logging.h"
+#include "runtime/thread_pool.h"
+
+namespace focus
+{
+
+namespace
+{
+
+/** splitmix64 finalizer: deterministic stateless bit mixing. */
+uint64_t
+mix64(uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+}
+
+/** Ring position of (replica, vnode) — a pure function of the pair. */
+uint64_t
+vnodePosition(int replica, int vnode)
+{
+    const uint64_t r = static_cast<uint64_t>(replica) *
+        0x9e3779b97f4a7c15ull + 1;
+    const uint64_t v = static_cast<uint64_t>(vnode) *
+        0xd6e8feb86659fd93ull + 0x2545f4914f6cdd1dull;
+    return mix64(mix64(r) ^ v);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// HashRing
+// ---------------------------------------------------------------
+
+HashRing::HashRing(int replicas, int vnodes) : vnodes_(vnodes)
+{
+    if (replicas <= 0) {
+        fatal("HashRing: at least one replica required (got %d)",
+              replicas);
+    }
+    if (vnodes <= 0) {
+        fatal("HashRing: virtual-node count must be positive (got %d)",
+              vnodes);
+    }
+    members_.reserve(static_cast<size_t>(replicas));
+    for (int r = 0; r < replicas; ++r) {
+        members_.push_back(r);
+    }
+    rebuild();
+}
+
+void
+HashRing::rebuild()
+{
+    ring_.clear();
+    ring_.reserve(members_.size() * static_cast<size_t>(vnodes_));
+    for (const int id : members_) {
+        for (int v = 0; v < vnodes_; ++v) {
+            ring_.emplace_back(vnodePosition(id, v), id);
+        }
+    }
+    // Sorting (position, id) pairs makes placement independent of
+    // the order members were added in; a position collision (already
+    // astronomically unlikely) resolves by the lower id on both
+    // lookup and rebuild.
+    std::sort(ring_.begin(), ring_.end());
+}
+
+int
+HashRing::route(uint64_t key_hash) const
+{
+    // First vnode at or clockwise after the hash, wrapping to the
+    // ring start past the largest position.
+    const auto it = std::lower_bound(
+        ring_.begin(), ring_.end(),
+        std::make_pair(key_hash, 0),
+        [](const std::pair<uint64_t, int> &a,
+           const std::pair<uint64_t, int> &b) {
+            return a.first < b.first;
+        });
+    return it == ring_.end() ? ring_.front().second : it->second;
+}
+
+int
+HashRing::route(const std::string &key) const
+{
+    return route(hashKey(key));
+}
+
+int
+HashRing::addReplica()
+{
+    const int id = members_.empty() ? 0 : members_.back() + 1;
+    members_.push_back(id);
+    rebuild();
+    return id;
+}
+
+void
+HashRing::removeReplica(int replica)
+{
+    const auto it =
+        std::find(members_.begin(), members_.end(), replica);
+    if (it == members_.end()) {
+        fatal("HashRing: cannot remove unknown replica %d", replica);
+    }
+    if (members_.size() == 1) {
+        fatal("HashRing: cannot remove the last replica (%d)",
+              replica);
+    }
+    members_.erase(it);
+    rebuild();
+}
+
+uint64_t
+HashRing::hashKey(const std::string &key)
+{
+    // FNV-1a 64-bit, then a splitmix64 finalizer: bare FNV-1a has no
+    // final avalanche, so keys differing only in a short suffix
+    // ("cls#1", "cls#2", ...) hash into one narrow band of the ring
+    // and pile onto the same few vnodes.
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : key) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return mix64(h);
+}
+
+// ---------------------------------------------------------------
+// ClusterSimulator
+// ---------------------------------------------------------------
+
+const char *
+routingPolicyName(RoutingPolicy p)
+{
+    switch (p) {
+      case RoutingPolicy::HashRing:
+        return "hash-ring";
+      case RoutingPolicy::RoundRobin:
+        return "round-robin";
+    }
+    return "?";
+}
+
+ClusterSimulator::ClusterSimulator(ServingSimulator &base,
+                                   const ClusterConfig &cluster)
+    : base_(base), cfg_(cluster)
+{
+    if (cfg_.replicas <= 0) {
+        fatal("ClusterSimulator: at least one replica required "
+              "(got %d)", cfg_.replicas);
+    }
+    if (cfg_.vnodes <= 0) {
+        fatal("ClusterSimulator: virtual-node count must be positive "
+              "(got %d)", cfg_.vnodes);
+    }
+    if (cfg_.tensor_parallel <= 0) {
+        fatal("ClusterSimulator: invalid split factor %d (want a "
+              "positive tensor-parallel degree)",
+              cfg_.tensor_parallel);
+    }
+    if (cfg_.data_parallel <= 0) {
+        fatal("ClusterSimulator: invalid split factor %d (want a "
+              "positive data-parallel degree)", cfg_.data_parallel);
+    }
+    if (cfg_.shed_backlog_s < 0.0) {
+        fatal("ClusterSimulator: negative shed backlog bound (%g s)",
+              cfg_.shed_backlog_s);
+    }
+    if (cfg_.continuous_theta >= 1.0) {
+        fatal("ClusterSimulator: continuous-batching theta must be "
+              "below 1 (got %g)", cfg_.continuous_theta);
+    }
+}
+
+std::string
+ClusterSimulator::routingKey(const ServeRequest &req,
+                             const RequestClass &cls)
+{
+    return cls.label() + "#" + std::to_string(req.prefix_id);
+}
+
+const ClusterSimulator::ShardCost &
+ClusterSimulator::costSharded(const std::vector<size_t> &comp)
+{
+    const auto hit = shard_cache_.find(comp);
+    if (hit != shard_cache_.end()) {
+        return hit->second;
+    }
+
+    ShardCost sc;
+    const int tp = cfg_.tensor_parallel;
+    // A data-parallel group never splits below one request.
+    const int dp = std::min(cfg_.data_parallel,
+                            static_cast<int>(comp.size()));
+
+    std::vector<const WorkloadTrace *> parts;
+    parts.reserve(comp.size());
+    for (const size_t combo : comp) {
+        parts.push_back(&base_.comboTrace(combo));
+    }
+
+    std::vector<uint64_t> layer_cycles;
+    if (tp == 1 && dp == 1) {
+        // Delegate to the base composition cache: bit-identical to
+        // the single-box path (and shared with it).
+        const RunMetrics &m = base_.costComposition(comp);
+        sc.metrics = m;
+        sc.service_s = m.seconds();
+        layer_cycles = m.layer_cycles;
+    } else {
+        const std::vector<WorkloadTrace> groups =
+            splitDataParallel(parts, dp);
+        double worst = -1.0;
+        for (const WorkloadTrace &group : groups) {
+            std::vector<WorkloadTrace> shards =
+                splitTensorParallel(group, tp);
+            for (const WorkloadTrace &shard : shards) {
+                RunMetrics rm = simulateAccelerator(
+                    base_.accelConfig(), shard);
+                sc.interconnect_bytes += rm.interconnect_bytes;
+                if (rm.seconds() > worst) {
+                    worst = rm.seconds();
+                    layer_cycles = rm.layer_cycles;
+                    sc.metrics = std::move(rm);
+                }
+            }
+        }
+        sc.service_s = worst;
+    }
+
+    // Continuous-batching knee: the first layer whose active rows
+    // have shrunk to theta * layer-0 rows.  The knee time scales the
+    // batch service by the critical engine's cycle prefix; the tail
+    // fraction is the mean active share past the knee (the residual
+    // array occupancy the next batch serializes behind).
+    sc.knee_s = sc.service_s;
+    sc.tail_frac = 0.0;
+    if (cfg_.continuous_theta > 0.0 && !layer_cycles.empty()) {
+        const WorkloadTrace fused_storage =
+            parts.size() > 1 ? fuseTraces(parts) : WorkloadTrace{};
+        const WorkloadTrace &fused =
+            parts.size() > 1 ? fused_storage : *parts.front();
+        const double rows0 =
+            static_cast<double>(fused.layers.front().rowsIn());
+        const size_t L = fused.layers.size();
+        size_t knee = L;
+        for (size_t l = 0; l < L; ++l) {
+            if (static_cast<double>(fused.layers[l].rowsIn()) <=
+                cfg_.continuous_theta * rows0) {
+                knee = l;
+                break;
+            }
+        }
+        if (knee < L && rows0 > 0.0) {
+            uint64_t prefix = 0, total = 0;
+            for (size_t l = 0; l < layer_cycles.size(); ++l) {
+                total += layer_cycles[l];
+                if (l < knee) {
+                    prefix += layer_cycles[l];
+                }
+            }
+            if (total > 0) {
+                sc.knee_s = sc.service_s *
+                    (static_cast<double>(prefix) /
+                     static_cast<double>(total));
+                double frac_sum = 0.0;
+                for (size_t l = knee; l < L; ++l) {
+                    frac_sum += std::min(
+                        1.0,
+                        static_cast<double>(
+                            fused.layers[l].rowsIn()) / rows0);
+                }
+                sc.tail_frac =
+                    frac_sum / static_cast<double>(L - knee);
+            }
+        }
+    }
+
+    return shard_cache_.emplace(comp, std::move(sc)).first->second;
+}
+
+namespace
+{
+
+/**
+ * Append one executed cluster batch and stamp its members' outcomes;
+ * @p members holds positions into @p sub.  @p service may exceed the
+ * batch's own cost (continuous batching serializes the previous
+ * batch's residual tail ahead of it).
+ */
+double
+recordClusterBatch(const std::vector<ServeRequest> &sub,
+                   std::vector<RequestOutcome> &outcomes,
+                   std::vector<BatchRecord> &batches,
+                   const std::vector<size_t> &members, double ready,
+                   double start, double service,
+                   const RunMetrics &metrics)
+{
+    BatchRecord rec;
+    rec.ready_s = ready;
+    rec.start_s = start;
+    rec.service_s = service;
+    rec.metrics = metrics;
+    const int batch_id = static_cast<int>(batches.size());
+    for (const size_t i : members) {
+        rec.request_ids.push_back(sub[i].id);
+        RequestOutcome &o = outcomes[i];
+        o.id = sub[i].id;
+        o.class_id = sub[i].class_id;
+        o.batch_id = batch_id;
+        o.batch_size = static_cast<int>(members.size());
+        o.start_s = start;
+        o.finish_s = start + service;
+    }
+    batches.push_back(std::move(rec));
+    return start + service;
+}
+
+} // namespace
+
+void
+ClusterSimulator::replayAdvanced(
+    const BatchScheduler &scheduler,
+    const std::vector<ServeRequest> &sub,
+    std::vector<RequestOutcome> &outcomes,
+    std::vector<BatchRecord> &batches,
+    uint64_t &interconnect_bytes)
+{
+    const size_t n = sub.size();
+    outcomes.assign(n, RequestOutcome{});
+    batches.clear();
+    const std::vector<BatchKey> keys = base_.batchKeys(sub);
+    for (size_t i = 0; i < n; ++i) {
+        outcomes[i].arrival_s = sub[i].arrival_s;
+    }
+
+    const auto compOf = [&](const std::vector<size_t> &members) {
+        std::vector<size_t> comp;
+        comp.reserve(members.size());
+        for (const size_t i : members) {
+            comp.push_back(base_.classCombo(sub[i].class_id));
+        }
+        return comp;
+    };
+
+    if (cfg_.continuous_theta <= 0.0) {
+        // Serial batch boundaries: the planned open-loop schedule
+        // with sharded costs.
+        const std::vector<PlannedBatch> plans =
+            scheduler.planOpenLoop(sub, keys);
+        double free_t = 0.0;
+        for (const PlannedBatch &plan : plans) {
+            const ShardCost &sc = costSharded(compOf(plan.members));
+            const double start = std::max(free_t, plan.ready_s);
+            free_t = recordClusterBatch(
+                sub, outcomes, batches, plan.members, plan.ready_s,
+                start, sc.service_s, sc.metrics);
+            interconnect_bytes += sc.interconnect_bytes;
+        }
+        return;
+    }
+
+    // Continuous batching: launch the next batch at the previous
+    // batch's knee, serializing its residual tail occupancy (which
+    // drains linearly between knee and finish) ahead of the new
+    // batch's own service.
+    size_t next = 0;
+    std::vector<size_t> pending;
+    double release_t = 0.0;
+    double knee_abs = 0.0, finish_abs = 0.0, tail_work = 0.0;
+    while (next < n || !pending.empty()) {
+        double t = release_t;
+        if (pending.empty()) {
+            t = std::max(t, sub[next].arrival_s);
+        }
+        while (next < n && sub[next].arrival_s <= t) {
+            pending.push_back(next++);
+        }
+        const std::vector<size_t> picked =
+            scheduler.pickPending(pending, keys);
+        const ShardCost &sc = costSharded(compOf(picked));
+
+        double carry = 0.0;
+        if (finish_abs > knee_abs && t < finish_abs) {
+            carry = tail_work * (finish_abs - t) /
+                (finish_abs - knee_abs);
+        }
+        const double start = t;
+        const double service = carry + sc.service_s;
+        recordClusterBatch(sub, outcomes, batches, picked, t, start,
+                           service, sc.metrics);
+        interconnect_bytes += sc.interconnect_bytes;
+
+        release_t = start + carry + sc.knee_s;
+        knee_abs = release_t;
+        finish_abs = start + service;
+        tail_work = (sc.service_s - sc.knee_s) * sc.tail_frac;
+
+        for (const size_t i : picked) {
+            pending.erase(
+                std::find(pending.begin(), pending.end(), i));
+        }
+    }
+}
+
+ClusterReport
+ClusterSimulator::run(const SchedulerConfig &sched, ThreadPool *pool)
+{
+    const QueueConfig &queue = base_.queueConfig();
+    if (queue.process != ArrivalProcess::OpenPoisson) {
+        fatal("ClusterSimulator: cluster replay models the open-loop "
+              "overload regime; closed-loop populations self-limit "
+              "and stay a single-box (ServingSimulator) question");
+    }
+    base_.calibrate(pool);
+    const BatchScheduler scheduler(sched);
+    const std::vector<ServeRequest> stream =
+        RequestQueue(queue).generate();
+    const size_t n = stream.size();
+    const int R = cfg_.replicas;
+
+    // ---- route ----
+    std::vector<int> replica_of(n);
+    if (cfg_.routing == RoutingPolicy::RoundRobin) {
+        for (size_t i = 0; i < n; ++i) {
+            replica_of[i] = static_cast<int>(
+                stream[i].id % static_cast<int64_t>(R));
+        }
+    } else {
+        const HashRing ring(R, cfg_.vnodes);
+        for (size_t i = 0; i < n; ++i) {
+            const RequestClass &cls =
+                queue.mix[static_cast<size_t>(stream[i].class_id)];
+            replica_of[i] = ring.route(routingKey(stream[i], cls));
+        }
+    }
+
+    // ---- admission / shedding ----
+    // Leaky-bucket backlog per replica: drains in real time, fills
+    // by the admitted request's estimated (sharded) solo service.
+    std::vector<double> est;
+    if (cfg_.shed_backlog_s > 0.0) {
+        est.reserve(queue.mix.size());
+        for (size_t cls = 0; cls < queue.mix.size(); ++cls) {
+            est.push_back(
+                costSharded({base_.classCombo(static_cast<int>(cls))})
+                    .service_s);
+        }
+    }
+    std::vector<std::vector<size_t>> admitted(
+        static_cast<size_t>(R));
+    std::vector<int> shed_count(static_cast<size_t>(R), 0);
+    std::vector<char> is_shed(n, 0);
+    std::vector<double> backlog(static_cast<size_t>(R), 0.0);
+    std::vector<double> last_seen(static_cast<size_t>(R), 0.0);
+    for (size_t i = 0; i < n; ++i) {
+        const size_t r = static_cast<size_t>(replica_of[i]);
+        if (cfg_.shed_backlog_s > 0.0) {
+            const double t = stream[i].arrival_s;
+            backlog[r] =
+                std::max(0.0, backlog[r] - (t - last_seen[r]));
+            last_seen[r] = t;
+            if (backlog[r] > cfg_.shed_backlog_s) {
+                is_shed[i] = 1;
+                shed_count[r] += 1;
+                continue;
+            }
+            backlog[r] +=
+                est[static_cast<size_t>(stream[i].class_id)];
+        }
+        admitted[r].push_back(i);
+    }
+
+    // ---- per-replica replay ----
+    const bool simple = cfg_.tensor_parallel == 1 &&
+        cfg_.data_parallel == 1 && cfg_.continuous_theta <= 0.0;
+    std::vector<RequestOutcome> outcomes(n);
+    std::vector<std::vector<BatchRecord>> rep_batches(
+        static_cast<size_t>(R));
+    ClusterReport rep;
+    rep.replicas.resize(static_cast<size_t>(R));
+    for (int r = 0; r < R; ++r) {
+        const size_t ri = static_cast<size_t>(r);
+        ReplicaStats &rs = rep.replicas[ri];
+        rs.replica = r;
+        rs.routed = static_cast<int>(admitted[ri].size()) +
+            shed_count[ri];
+        rs.shed = shed_count[ri];
+
+        std::vector<ServeRequest> sub;
+        sub.reserve(admitted[ri].size());
+        for (const size_t i : admitted[ri]) {
+            sub.push_back(stream[i]);
+        }
+        std::vector<RequestOutcome> sub_out;
+        std::vector<BatchRecord> sub_batches;
+        if (!sub.empty()) {
+            if (simple) {
+                base_.replayOpenLoop(scheduler, sub, pool, sub_out,
+                                     sub_batches);
+            } else {
+                replayAdvanced(scheduler, sub, sub_out, sub_batches,
+                               rs.interconnect_bytes);
+            }
+        }
+        for (BatchRecord &b : sub_batches) {
+            b.replica = r;
+            rs.busy_s += b.service_s;
+            rs.makespan_s = std::max(rs.makespan_s,
+                                     b.start_s + b.service_s);
+        }
+        rs.batches = static_cast<int>(sub_batches.size());
+        for (size_t j = 0; j < admitted[ri].size(); ++j) {
+            outcomes[admitted[ri][j]] = sub_out[j];
+        }
+        rep_batches[ri] = std::move(sub_batches);
+    }
+
+    // Shed requests never execute: they carry their arrival time and
+    // count as SLO misses in the merged report.
+    for (size_t i = 0; i < n; ++i) {
+        if (!is_shed[i]) {
+            continue;
+        }
+        RequestOutcome &o = outcomes[i];
+        o.id = stream[i].id;
+        o.class_id = stream[i].class_id;
+        o.batch_id = -1;
+        o.batch_size = 0;
+        o.arrival_s = stream[i].arrival_s;
+        o.start_s = stream[i].arrival_s;
+        o.finish_s = stream[i].arrival_s;
+        o.shed = true;
+    }
+
+    // ---- merge batches into one fleet-order timeline ----
+    std::vector<std::tuple<double, double, int64_t, int, size_t>>
+        order;
+    for (int r = 0; r < R; ++r) {
+        const size_t ri = static_cast<size_t>(r);
+        for (size_t b = 0; b < rep_batches[ri].size(); ++b) {
+            const BatchRecord &rec = rep_batches[ri][b];
+            order.emplace_back(rec.start_s, rec.ready_s,
+                               rec.request_ids.front(), r, b);
+        }
+    }
+    std::sort(order.begin(), order.end());
+    std::vector<std::vector<int>> remap(static_cast<size_t>(R));
+    for (int r = 0; r < R; ++r) {
+        remap[static_cast<size_t>(r)].resize(
+            rep_batches[static_cast<size_t>(r)].size(), -1);
+    }
+    std::vector<BatchRecord> merged;
+    merged.reserve(order.size());
+    for (const auto &o : order) {
+        const size_t r = static_cast<size_t>(std::get<3>(o));
+        const size_t b = std::get<4>(o);
+        remap[r][b] = static_cast<int>(merged.size());
+        merged.push_back(std::move(rep_batches[r][b]));
+    }
+    for (size_t i = 0; i < n; ++i) {
+        if (is_shed[i] || outcomes[i].batch_id < 0) {
+            continue;
+        }
+        outcomes[i].batch_id =
+            remap[static_cast<size_t>(replica_of[i])]
+                 [static_cast<size_t>(outcomes[i].batch_id)];
+    }
+
+    rep.merged = base_.assemble(sched, stream, std::move(outcomes),
+                                std::move(merged));
+
+    // ---- fleet stats ----
+    int max_routed = 0;
+    for (const ReplicaStats &rs : rep.replicas) {
+        rep.shed += rs.shed;
+        rep.interconnect_bytes += rs.interconnect_bytes;
+        max_routed = std::max(max_routed, rs.routed);
+    }
+    rep.admitted = static_cast<int>(n) - rep.shed;
+    rep.shed_rate = n > 0
+        ? static_cast<double>(rep.shed) / static_cast<double>(n)
+        : 0.0;
+    const double mean_routed =
+        static_cast<double>(n) / static_cast<double>(R);
+    rep.load_imbalance = mean_routed > 0.0
+        ? static_cast<double>(max_routed) / mean_routed : 0.0;
+    return rep;
+}
+
+} // namespace focus

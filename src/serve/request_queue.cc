@@ -45,6 +45,10 @@ RequestQueue::RequestQueue(const QueueConfig &cfg) : cfg_(cfg)
             fatal("RequestQueue: non-positive SLO for class '%s'",
                   c.label().c_str());
         }
+        if (c.prefix_cardinality <= 0) {
+            fatal("RequestQueue: non-positive prefix cardinality for "
+                  "class '%s'", c.label().c_str());
+        }
         total_weight += c.weight;
     }
     if (total_weight <= 0.0) {
@@ -102,6 +106,10 @@ std::vector<ServeRequest>
 RequestQueue::generate() const
 {
     Rng rng(cfg_.seed ^ 0x5e21f0c4a87d3b19ull);
+    // Prefix identities draw from an independent stream so their
+    // addition leaves the historical class/arrival sequence (and
+    // every downstream report) bit-identical.
+    Rng prefix_rng(cfg_.seed ^ 0x2fd3c1b58a49e617ull);
     double total_weight = 0.0;
     for (const RequestClass &c : cfg_.mix) {
         total_weight += c.weight;
@@ -115,8 +123,11 @@ RequestQueue::generate() const
         ServeRequest r;
         r.id = i;
         r.class_id = drawClass(rng, cfg_.mix, total_weight);
-        r.slo_latency_s =
-            cfg_.mix[static_cast<size_t>(r.class_id)].slo_latency_s;
+        const RequestClass &cls =
+            cfg_.mix[static_cast<size_t>(r.class_id)];
+        r.slo_latency_s = cls.slo_latency_s;
+        r.prefix_id = static_cast<int64_t>(prefix_rng.uniformInt(
+            static_cast<uint64_t>(cls.prefix_cardinality)));
         if (cfg_.process == ArrivalProcess::OpenPoisson) {
             clock += exponential(rng, 1.0 / cfg_.arrival_rate_rps);
             r.arrival_s = clock;

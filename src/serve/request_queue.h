@@ -51,6 +51,14 @@ struct RequestClass
     double weight = 1.0;
     /** Per-request latency SLO (simulated seconds). */
     double slo_latency_s = 120.0;
+    /**
+     * Distinct prefix identities (shared videos / system prompts)
+     * this class draws from; each request carries one, and the
+     * cluster router keys its consistent-hash ring on
+     * class label + prefix so same-prefix requests land on the same
+     * replica (free cache affinity for the upcoming KV-cache tier).
+     */
+    int prefix_cardinality = 64;
 
     /** "model/dataset/method" display label. */
     std::string label() const;
@@ -81,6 +89,8 @@ struct ServeRequest
     int64_t id = 0;      ///< position in the stream (0-based)
     int class_id = 0;    ///< index into QueueConfig::mix
     int client = -1;     ///< issuing client (ClosedLoop only)
+    /** Prefix identity in [0, class prefix_cardinality). */
+    int64_t prefix_id = 0;
     double arrival_s = 0.0; ///< absolute arrival time (OpenPoisson)
     double think_s = 0.0;   ///< think time before issue (ClosedLoop)
     double slo_latency_s = 0.0;

@@ -118,6 +118,41 @@ ServingSimulator::classSolo(int class_id)
     return combos_[class_combo_[static_cast<size_t>(class_id)]].solo;
 }
 
+size_t
+ServingSimulator::classCombo(int class_id)
+{
+    calibrate();
+    if (class_id < 0 ||
+        static_cast<size_t>(class_id) >= class_combo_.size()) {
+        panic("ServingSimulator::classCombo: class %d out of range",
+              class_id);
+    }
+    return class_combo_[static_cast<size_t>(class_id)];
+}
+
+const WorkloadTrace &
+ServingSimulator::comboTrace(size_t combo) const
+{
+    if (combo >= combos_.size()) {
+        panic("ServingSimulator::comboTrace: combo %zu out of range",
+              combo);
+    }
+    return combos_[combo].trace;
+}
+
+std::vector<BatchKey>
+ServingSimulator::batchKeys(const std::vector<ServeRequest> &stream)
+{
+    calibrate();
+    std::vector<BatchKey> keys(stream.size());
+    for (size_t i = 0; i < stream.size(); ++i) {
+        const size_t combo = classCombo(stream[i].class_id);
+        keys[i] = BatchKey{combos_[combo].model_id,
+                           combos_[combo].trace.retainedRows()};
+    }
+    return keys;
+}
+
 const RunMetrics &
 ServingSimulator::costComposition(const std::vector<size_t> &comp)
 {
@@ -151,7 +186,108 @@ percentile(const std::vector<double> &sorted, double q)
     return sorted[std::min(idx, sorted.size() - 1)];
 }
 
+/**
+ * Append one executed batch and stamp its members' outcomes;
+ * @p members holds positions into @p stream.  Returns the finish
+ * time.  Shared by the open-loop replay and the closed-loop event
+ * loop so both paths stay byte-for-byte the same bookkeeping.
+ */
+double
+recordBatch(const std::vector<ServeRequest> &stream,
+            std::vector<RequestOutcome> &outcomes,
+            std::vector<BatchRecord> &batches,
+            const std::vector<size_t> &members, double ready,
+            double start, const RunMetrics &m)
+{
+    BatchRecord rec;
+    rec.ready_s = ready;
+    rec.start_s = start;
+    rec.service_s = m.seconds();
+    rec.metrics = m;
+    const int batch_id = static_cast<int>(batches.size());
+    for (const size_t i : members) {
+        rec.request_ids.push_back(stream[i].id);
+        RequestOutcome &o = outcomes[i];
+        o.id = stream[i].id;
+        o.class_id = stream[i].class_id;
+        o.batch_id = batch_id;
+        o.batch_size = static_cast<int>(members.size());
+        o.start_s = start;
+        o.finish_s = start + rec.service_s;
+    }
+    batches.push_back(std::move(rec));
+    return start + batches.back().service_s;
+}
+
 } // namespace
+
+void
+ServingSimulator::replayOpenLoop(
+    const BatchScheduler &scheduler,
+    const std::vector<ServeRequest> &stream, ThreadPool *pool,
+    std::vector<RequestOutcome> &outcomes,
+    std::vector<BatchRecord> &batches)
+{
+    calibrate(pool);
+    const size_t n = stream.size();
+    outcomes.assign(n, RequestOutcome{});
+    batches.clear();
+
+    std::vector<size_t> req_combo(n);
+    std::vector<BatchKey> keys(n);
+    for (size_t i = 0; i < n; ++i) {
+        const size_t combo =
+            class_combo_[static_cast<size_t>(stream[i].class_id)];
+        req_combo[i] = combo;
+        keys[i] = BatchKey{combos_[combo].model_id,
+                           combos_[combo].trace.retainedRows()};
+        outcomes[i].arrival_s = stream[i].arrival_s;
+    }
+
+    const std::vector<PlannedBatch> plans =
+        scheduler.planOpenLoop(stream, keys);
+
+    // Fuse + simulate every distinct composition across the
+    // pool; the timeline pass below then only reads the cache.
+    std::vector<std::vector<size_t>> comps(plans.size());
+    std::vector<std::vector<size_t>> todo;
+    for (size_t b = 0; b < plans.size(); ++b) {
+        for (const size_t i : plans[b].members) {
+            comps[b].push_back(req_combo[i]);
+        }
+        if (batch_cache_.find(comps[b]) == batch_cache_.end() &&
+            std::find(todo.begin(), todo.end(), comps[b]) ==
+                todo.end()) {
+            todo.push_back(comps[b]);
+        }
+    }
+    std::vector<RunMetrics> slots(todo.size());
+    ThreadPool &p = pool ? *pool : ThreadPool::global();
+    p.parallelFor(
+        static_cast<int64_t>(todo.size()), [&](int64_t t) {
+            const std::vector<size_t> &comp =
+                todo[static_cast<size_t>(t)];
+            std::vector<const WorkloadTrace *> parts;
+            parts.reserve(comp.size());
+            for (const size_t combo : comp) {
+                parts.push_back(&combos_[combo].trace);
+            }
+            slots[static_cast<size_t>(t)] =
+                simulateAccelerator(accel_, fuseTraces(parts));
+        });
+    for (size_t t = 0; t < todo.size(); ++t) {
+        batch_cache_.emplace(todo[t], std::move(slots[t]));
+    }
+
+    double free_t = 0.0;
+    for (size_t b = 0; b < plans.size(); ++b) {
+        const RunMetrics &m = costComposition(comps[b]);
+        const double start = std::max(free_t, plans[b].ready_s);
+        free_t = recordBatch(stream, outcomes, batches,
+                             plans[b].members, plans[b].ready_s,
+                             start, m);
+    }
+}
 
 ServingReport
 ServingSimulator::run(const SchedulerConfig &sched, ThreadPool *pool)
@@ -162,90 +298,21 @@ ServingSimulator::run(const SchedulerConfig &sched, ThreadPool *pool)
         RequestQueue(queue_).generate();
     const size_t n = stream.size();
 
-    std::vector<size_t> req_combo(n);
-    std::vector<BatchKey> keys(n);
-    for (size_t i = 0; i < n; ++i) {
-        const size_t combo =
-            class_combo_[static_cast<size_t>(stream[i].class_id)];
-        req_combo[i] = combo;
-        keys[i] = BatchKey{combos_[combo].model_id,
-                           combos_[combo].trace.retainedRows()};
-    }
-
     std::vector<RequestOutcome> outcomes(n);
     std::vector<BatchRecord> batches;
 
-    const auto recordBatch = [&](const std::vector<size_t> &members,
-                                 double ready, double start,
-                                 const RunMetrics &m) {
-        BatchRecord rec;
-        rec.ready_s = ready;
-        rec.start_s = start;
-        rec.service_s = m.seconds();
-        rec.metrics = m;
-        const int batch_id = static_cast<int>(batches.size());
-        for (const size_t i : members) {
-            rec.request_ids.push_back(stream[i].id);
-            RequestOutcome &o = outcomes[i];
-            o.id = stream[i].id;
-            o.class_id = stream[i].class_id;
-            o.batch_id = batch_id;
-            o.batch_size = static_cast<int>(members.size());
-            o.start_s = start;
-            o.finish_s = start + rec.service_s;
-        }
-        batches.push_back(std::move(rec));
-        return start + batches.back().service_s;
-    };
-
     if (queue_.process == ArrivalProcess::OpenPoisson) {
-        for (size_t i = 0; i < n; ++i) {
-            outcomes[i].arrival_s = stream[i].arrival_s;
-        }
-        const std::vector<PlannedBatch> plans =
-            scheduler.planOpenLoop(stream, keys);
-
-        // Fuse + simulate every distinct composition across the
-        // pool; the timeline pass below then only reads the cache.
-        std::vector<std::vector<size_t>> comps(plans.size());
-        std::vector<std::vector<size_t>> todo;
-        for (size_t b = 0; b < plans.size(); ++b) {
-            for (const size_t i : plans[b].members) {
-                comps[b].push_back(req_combo[i]);
-            }
-            if (batch_cache_.find(comps[b]) == batch_cache_.end() &&
-                std::find(todo.begin(), todo.end(), comps[b]) ==
-                    todo.end()) {
-                todo.push_back(comps[b]);
-            }
-        }
-        std::vector<RunMetrics> slots(todo.size());
-        ThreadPool &p = pool ? *pool : ThreadPool::global();
-        p.parallelFor(
-            static_cast<int64_t>(todo.size()), [&](int64_t t) {
-                const std::vector<size_t> &comp =
-                    todo[static_cast<size_t>(t)];
-                std::vector<const WorkloadTrace *> parts;
-                parts.reserve(comp.size());
-                for (const size_t combo : comp) {
-                    parts.push_back(&combos_[combo].trace);
-                }
-                slots[static_cast<size_t>(t)] =
-                    simulateAccelerator(accel_, fuseTraces(parts));
-            });
-        for (size_t t = 0; t < todo.size(); ++t) {
-            batch_cache_.emplace(todo[t], std::move(slots[t]));
-        }
-
-        double free_t = 0.0;
-        for (size_t b = 0; b < plans.size(); ++b) {
-            const RunMetrics &m = costComposition(comps[b]);
-            const double start =
-                std::max(free_t, plans[b].ready_s);
-            free_t = recordBatch(plans[b].members, plans[b].ready_s,
-                                 start, m);
-        }
+        replayOpenLoop(scheduler, stream, pool, outcomes, batches);
     } else {
+        std::vector<size_t> req_combo(n);
+        std::vector<BatchKey> keys(n);
+        for (size_t i = 0; i < n; ++i) {
+            const size_t combo =
+                class_combo_[static_cast<size_t>(stream[i].class_id)];
+            req_combo[i] = combo;
+            keys[i] = BatchKey{combos_[combo].model_id,
+                               combos_[combo].trace.retainedRows()};
+        }
         // Closed loop: arrivals depend on completions, so the event
         // loop is serial; compositions still hit the shared cache.
         std::vector<double> arr(n, 0.0);
@@ -294,8 +361,8 @@ ServingSimulator::run(const SchedulerConfig &sched, ThreadPool *pool)
             for (const size_t i : picked) {
                 outcomes[i].arrival_s = arr[i];
             }
-            const double finish =
-                recordBatch(picked, start, start, m);
+            const double finish = recordBatch(
+                stream, outcomes, batches, picked, start, start, m);
             free_t = finish;
 
             for (const size_t i : picked) {
@@ -326,14 +393,24 @@ ServingSimulator::assemble(const SchedulerConfig &sched,
     rep.policy = batchPolicyName(sched.policy);
     rep.outcomes = std::move(outcomes);
     rep.batches = std::move(batches);
+    if (rep.outcomes.size() != stream.size()) {
+        panic("ServingSimulator::assemble: %zu outcomes for %zu "
+              "requests", rep.outcomes.size(), stream.size());
+    }
 
+    // Outcomes are positional: outcomes[i] describes stream[i] (the
+    // stream may be a routed sub-stream whose ids are not 0..n-1).
     std::vector<double> lat;
     lat.reserve(rep.outcomes.size());
     double lat_sum = 0.0;
     size_t slo_ok = 0;
-    for (RequestOutcome &o : rep.outcomes) {
-        o.slo_met = o.latency_s() <=
-            stream[static_cast<size_t>(o.id)].slo_latency_s;
+    for (size_t i = 0; i < rep.outcomes.size(); ++i) {
+        RequestOutcome &o = rep.outcomes[i];
+        if (o.shed) {
+            rep.shed += 1;
+            continue;
+        }
+        o.slo_met = o.latency_s() <= stream[i].slo_latency_s;
         lat.push_back(o.latency_s());
         lat_sum += o.latency_s();
         slo_ok += o.slo_met ? 1 : 0;
@@ -347,8 +424,11 @@ ServingSimulator::assemble(const SchedulerConfig &sched,
         rep.latency.p95 = percentile(lat, 0.95);
         rep.latency.p99 = percentile(lat, 0.99);
         rep.latency.max = lat.back();
+        // Shed requests never meet their SLO: they stay in the
+        // attainment denominator (identical to the historical value
+        // when nothing is shed).
         rep.slo_attainment = static_cast<double>(slo_ok) /
-            static_cast<double>(lat.size());
+            static_cast<double>(rep.outcomes.size());
         rep.throughput_rps = rep.makespan_s > 0.0
             ? static_cast<double>(lat.size()) / rep.makespan_s
             : 0.0;
@@ -373,17 +453,25 @@ ServingSimulator::assemble(const SchedulerConfig &sched,
         co.solo_latency_s = combos_[class_combo_[cls]].solo.seconds();
         double cls_lat = 0.0;
         size_t cls_slo = 0;
+        int cls_done = 0;
         for (const RequestOutcome &o : rep.outcomes) {
             if (o.class_id != static_cast<int>(cls)) {
                 continue;
             }
             co.requests += 1;
+            if (o.shed) {
+                co.shed += 1;
+                continue;
+            }
+            cls_done += 1;
             cls_lat += o.latency_s();
             cls_slo += o.slo_met ? 1 : 0;
         }
-        if (co.requests > 0) {
+        if (cls_done > 0) {
             co.mean_latency_s =
-                cls_lat / static_cast<double>(co.requests);
+                cls_lat / static_cast<double>(cls_done);
+        }
+        if (co.requests > 0) {
             co.slo_attainment = static_cast<double>(cls_slo) /
                 static_cast<double>(co.requests);
         }

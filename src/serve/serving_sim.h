@@ -55,6 +55,12 @@ struct RequestOutcome
     double start_s = 0.0;
     double finish_s = 0.0;
     bool slo_met = false;
+    /**
+     * Rejected at admission (cluster overload shedding); a shed
+     * request never executes — it is excluded from the latency
+     * distribution and counted as an SLO miss.
+     */
+    bool shed = false;
 
     double latency_s() const { return finish_s - arrival_s; }
     double queue_s() const { return start_s - arrival_s; }
@@ -67,6 +73,7 @@ struct BatchRecord
     double ready_s = 0.0;
     double start_s = 0.0;
     double service_s = 0.0;
+    int replica = 0;    ///< executing replica (0 on a single box)
     RunMetrics metrics; ///< fused-trace accelerator metrics
 };
 
@@ -75,6 +82,7 @@ struct ClassOutcome
 {
     std::string label;
     int requests = 0;
+    int shed = 0;
     double accuracy = 0.0;
     double dense_accuracy = 0.0;
     double mean_latency_s = 0.0;
@@ -108,7 +116,13 @@ struct ServingReport
     LatencyStats latency;
     /** Mean executed batch size / max_batch. */
     double mean_occupancy = 0.0;
+    /**
+     * Fraction of *all* requests that finished within SLO: shed
+     * requests count in the denominator as misses (0 shed on a
+     * single box, so the historical value is unchanged there).
+     */
     double slo_attainment = 0.0;
+    int shed = 0;
 };
 
 class ServingSimulator
@@ -131,6 +145,53 @@ class ServingSimulator
     const RunMetrics &classSolo(int class_id);
 
     const QueueConfig &queueConfig() const { return queue_; }
+    const AccelConfig &accelConfig() const { return accel_; }
+
+    // ---- building blocks shared with the cluster layer ----
+    // (serve/cluster.h routes sub-streams of the same arrival trace
+    // to replicas and replays each through these, so a cluster of one
+    // replica is bit-identical to run() by construction.)
+
+    /**
+     * Open-loop replay of @p stream — any arrival-sorted subset of
+     * the generated stream — under @p scheduler.  Fuses and costs
+     * every distinct batch composition across @p pool, then assigns
+     * start/finish times in a serial FIFO timeline starting at
+     * t = 0.  @p outcomes and @p batches are overwritten, indexed by
+     * position in @p stream / execution order.  Calibrates on demand.
+     */
+    void replayOpenLoop(const BatchScheduler &scheduler,
+                        const std::vector<ServeRequest> &stream,
+                        ThreadPool *pool,
+                        std::vector<RequestOutcome> &outcomes,
+                        std::vector<BatchRecord> &batches);
+
+    /** Batching keys (model id, retained rows) for @p stream. */
+    std::vector<BatchKey>
+    batchKeys(const std::vector<ServeRequest> &stream);
+
+    /** Mix class -> calibrated combo index (calibrates on demand). */
+    size_t classCombo(int class_id);
+
+    /** Full-scale trace of a calibrated combo. */
+    const WorkloadTrace &comboTrace(size_t combo) const;
+
+    /**
+     * Fused metrics of a batch composition (sequence of combo ids in
+     * member order), memoized in the process-lifetime cache shared
+     * with run().
+     */
+    const RunMetrics &costComposition(const std::vector<size_t> &comp);
+
+    /**
+     * Aggregate a report over @p stream: @p outcomes is positional
+     * (outcomes[i] describes stream[i]); shed outcomes are excluded
+     * from the latency distribution and counted as SLO misses.
+     */
+    ServingReport assemble(const SchedulerConfig &sched,
+                           const std::vector<ServeRequest> &stream,
+                           std::vector<RequestOutcome> outcomes,
+                           std::vector<BatchRecord> batches) const;
 
   private:
     /** Calibrated (model, dataset, method) combo. */
@@ -150,11 +211,6 @@ class ServingSimulator
                        const MethodConfig &method);
     const Evaluator &evaluatorFor(const std::string &model,
                                   const std::string &dataset);
-    const RunMetrics &costComposition(const std::vector<size_t> &comp);
-    ServingReport assemble(const SchedulerConfig &sched,
-                           const std::vector<ServeRequest> &stream,
-                           std::vector<RequestOutcome> outcomes,
-                           std::vector<BatchRecord> batches) const;
 
     QueueConfig queue_;
     AccelConfig accel_;

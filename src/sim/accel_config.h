@@ -80,6 +80,17 @@ struct AccelConfig
     // --- memory ---
     DramConfig dram;
 
+    // --- interconnect (tensor-parallel collectives) ---
+    /**
+     * Per-shard link bandwidth for ring collectives, in bytes per
+     * accelerator cycle.  128 B/cycle at 500 MHz = 64 GB/s — an
+     * accelerator-class scale-up link matching the DRAM bandwidth.
+     * Only exercised when a trace carries tp_degree > 1.
+     */
+    double link_bytes_per_cycle = 128.0;
+    /** Per-hop ring-step latency in accelerator cycles (~1 us). */
+    int64_t link_hop_cycles = 500;
+
     /**
      * Weight-traffic amortization factor: effective batch over which
      * streamed weights are reused (images/clips processed per weight

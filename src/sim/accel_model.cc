@@ -50,6 +50,11 @@ validateAccelConfig(const AccelConfig &cfg)
               cfg.sec_lanes, cfg.vector_size,
               cfg.scatter_accumulators, cfg.sic_matchers);
     }
+    if (cfg.link_bytes_per_cycle <= 0.0 || cfg.link_hop_cycles < 0) {
+        panic("simulateAccelerator: invalid interconnect config "
+              "(link_bytes_per_cycle=%g link_hop_cycles=%" PRId64 ")",
+              cfg.link_bytes_per_cycle, cfg.link_hop_cycles);
+    }
 }
 
 /**
@@ -337,10 +342,49 @@ simulateAccelerator(const AccelConfig &cfg, const WorkloadTrace &trace,
             }
         }
 
+        // ---- tensor-parallel collectives ----
+        // Row-parallel outputs (O-proj, FFN down) hold partial sums
+        // that must meet across the tp_degree shards: a ring
+        // reduce-scatter moves the uncompressed fp16 partials, the
+        // all-gather redistributes the (psi-compressed when gathered)
+        // result, each at (tp-1)/tp of the tensor per shard.  The
+        // collective blocks the layer critical path (Megatron-style
+        // synchronous TP), so it adds serially after compute/DMA
+        // overlap.  Exactly zero at tp_degree == 1.
+        uint64_t icx_cycles = 0;
+        if (trace.tp_degree > 1) {
+            const double tp = static_cast<double>(trace.tp_degree);
+            uint64_t icx_bytes = 0;
+            for (const GemmEvent &g : layer.gemms) {
+                if (g.site != GemmSite::OProj &&
+                    g.site != GemmSite::Down) {
+                    continue;
+                }
+                const double elems = static_cast<double>(g.m) * g.n *
+                    g.count;
+                const double out_psi = is_focus_arch && g.gather_out
+                    ? g.psi_out : 1.0;
+                const double vol = (tp - 1.0) / tp * elems * 2.0 *
+                    (1.0 + out_psi);
+                icx_bytes += static_cast<uint64_t>(std::llround(vol));
+                icx_cycles += static_cast<uint64_t>(
+                    2 * (trace.tp_degree - 1)) *
+                    static_cast<uint64_t>(cfg.link_hop_cycles);
+            }
+            icx_cycles += static_cast<uint64_t>(
+                std::llround(static_cast<double>(icx_bytes) /
+                             cfg.link_bytes_per_cycle));
+            rm.interconnect_bytes += icx_bytes;
+            rm.interconnect_cycles += icx_cycles;
+        }
+
         // ---- compute / DMA overlap ----
         const uint64_t dram_cycles = dram.streamCycles(layer_dram_bytes);
         dram.addStreamEnergy(layer_dram_bytes);
-        rm.cycles += std::max(layer_compute, dram_cycles);
+        const uint64_t layer_total =
+            std::max(layer_compute, dram_cycles) + icx_cycles;
+        rm.layer_cycles.push_back(layer_total);
+        rm.cycles += layer_total;
     }
 
     // Drop the cap-sized reservation slack: RunMetrics objects are
@@ -370,6 +414,8 @@ simulateAccelerator(const AccelConfig &cfg, const WorkloadTrace &trace,
     if (is_adaptiv) {
         rm.energy.merge += ep.p_adaptiv_merge_mw * 1e-3 * rm.seconds();
     }
+    rm.energy.interconnect = static_cast<double>(rm.interconnect_bytes) *
+        ep.e_link_pj_per_byte * 1e-12;
     rm.energy.dram = dram.dynamicEnergyJ() +
         dram.backgroundEnergyJ(rm.cycles, cfg.freq_ghz);
 

@@ -63,6 +63,22 @@ struct RunMetrics
     uint64_t wb_bytes = 0;
     uint64_t ob_bytes = 0;
 
+    /**
+     * Tensor-parallel ring-collective traffic and (serialized)
+     * cycles; exactly zero unless the trace carries tp_degree > 1, so
+     * single-engine results are bit-identical to pre-TP builds.
+     */
+    uint64_t interconnect_bytes = 0;
+    uint64_t interconnect_cycles = 0;
+
+    /**
+     * Per-layer critical-path cycles (compute/DMA overlap plus the
+     * layer's collective cost).  Sums to `cycles`; the cluster
+     * layer's continuous batching reads the prefix up to the SEC
+     * shrink knee to decide when the array can accept the next batch.
+     */
+    std::vector<uint64_t> layer_cycles;
+
     EnergyBreakdown energy;
 
     /** Cycle-weighted PE utilization. */

@@ -30,6 +30,7 @@ struct EnergyParams
     double e_sic_pj_per_op = 1.0;   ///< matcher element op
     double e_merge_pj_per_op = 100.0; ///< baseline merge-unit op
     double e_codec_pj_per_byte = 200.0; ///< CMC motion search + codec
+    double e_link_pj_per_byte = 10.0; ///< TP collective link transfer
     double p_core_leak_mw = 80.0;    ///< on-chip static power
 
     /**
@@ -53,11 +54,14 @@ struct EnergyBreakdown
     double sic = 0.0;     ///< similarity concentrator (+ scatter)
     double merge = 0.0;   ///< baseline merge/codec units
     double dram = 0.0;    ///< off-chip dynamic + background
+    /** Tensor-parallel collective links (zero unless tp_degree > 1). */
+    double interconnect = 0.0;
 
     double
     total() const
     {
-        return core + buffer + sfu + sec + sic + merge + dram;
+        return core + buffer + sfu + sec + sic + merge + dram +
+            interconnect;
     }
 
     double

@@ -410,4 +410,112 @@ fuseTraces(const std::vector<const WorkloadTrace *> &parts)
     return tr;
 }
 
+TraceWork
+traceWork(const WorkloadTrace &trace)
+{
+    TraceWork w;
+    w.retained_rows = trace.retainedRows();
+    for (const LayerEvents &l : trace.layers) {
+        for (const GemmEvent &g : l.gemms) {
+            w.dense_macs += g.m * g.k * g.n * g.count;
+            w.weighted_macs += g.macs();
+            w.weight_bytes += g.k * g.n * 2 * g.count;
+        }
+    }
+    return w;
+}
+
+namespace
+{
+
+/** Shard @p shard's share of an exact integer @p total / @p shards
+    partition (the first total%shards shards get one extra). */
+int64_t
+shardShare(int64_t total, int shard, int shards)
+{
+    return total / shards + (shard < total % shards ? 1 : 0);
+}
+
+} // namespace
+
+std::vector<WorkloadTrace>
+splitTensorParallel(const WorkloadTrace &trace, int tp)
+{
+    if (tp <= 0) {
+        fatal("splitTensorParallel: invalid split factor %d (want a "
+              "positive tensor-parallel degree)", tp);
+    }
+    if (tp == 1) {
+        return {trace};
+    }
+    if (static_cast<int64_t>(tp) > trace.heads) {
+        fatal("splitTensorParallel: invalid split factor %d (trace "
+              "has %" PRId64 " attention heads; a shard would own "
+              "none)", tp, trace.heads);
+    }
+
+    std::vector<WorkloadTrace> shards;
+    shards.reserve(static_cast<size_t>(tp));
+    for (int r = 0; r < tp; ++r) {
+        WorkloadTrace sh = trace;
+        sh.tp_degree = tp;
+        sh.tp_rank = r;
+        // The shard's private head and FFN-inner slices drive the
+        // per-shard softmax / swiglu SFU accounting.
+        sh.heads = shardShare(trace.heads, r, tp);
+        sh.ffn_inner = shardShare(trace.ffn_inner, r, tp);
+        for (LayerEvents &le : sh.layers) {
+            for (GemmEvent &g : le.gemms) {
+                switch (g.site) {
+                  case GemmSite::Qkv:
+                  case GemmSite::GateUp:
+                    // Column-parallel: output dim partitions.
+                    g.n = shardShare(g.n, r, tp);
+                    break;
+                  case GemmSite::OProj:
+                  case GemmSite::Down:
+                    // Row-parallel: inner dim partitions; the partial
+                    // sums meet in the post-layer all-reduce.
+                    g.k = shardShare(g.k, r, tp);
+                    break;
+                  case GemmSite::Qk:
+                  case GemmSite::Pv:
+                    // Per-head events partition by head count.
+                    g.count = static_cast<int>(
+                        shardShare(g.count, r, tp));
+                    break;
+                }
+            }
+        }
+        shards.push_back(std::move(sh));
+    }
+    return shards;
+}
+
+std::vector<WorkloadTrace>
+splitDataParallel(const std::vector<const WorkloadTrace *> &parts,
+                  int dp)
+{
+    if (dp <= 0) {
+        fatal("splitDataParallel: invalid split factor %d (want a "
+              "positive data-parallel degree)", dp);
+    }
+    if (static_cast<size_t>(dp) > parts.size()) {
+        fatal("splitDataParallel: invalid split factor %d for %zu "
+              "request parts (a group would be empty)", dp,
+              parts.size());
+    }
+    std::vector<WorkloadTrace> groups;
+    groups.reserve(static_cast<size_t>(dp));
+    for (int g = 0; g < dp; ++g) {
+        std::vector<const WorkloadTrace *> sub;
+        for (size_t i = static_cast<size_t>(g); i < parts.size();
+             i += static_cast<size_t>(dp)) {
+            sub.push_back(parts[i]);
+        }
+        groups.push_back(fuseTraces(sub));
+    }
+    return groups;
+}
+
 } // namespace focus

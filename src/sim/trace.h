@@ -138,6 +138,16 @@ struct WorkloadTrace
     /** Requests fused into this trace (1 = single query). */
     int batch_size = 1;
 
+    /**
+     * Tensor-parallel group size this trace is a shard of (1 =
+     * unsplit).  The accelerator model adds ring-collective
+     * interconnect cost per layer only when tp_degree > 1, so an
+     * unsplit trace's metrics are bit-identical to pre-split builds.
+     */
+    int tp_degree = 1;
+    /** Shard index within the tensor-parallel group. */
+    int tp_rank = 0;
+
     /** Total GEMM MACs of the trace. */
     double totalMacs() const;
 
@@ -218,6 +228,61 @@ WorkloadTrace buildDenseTrace(const ModelProfile &model,
  * batches behave like one flat fusion.
  */
 WorkloadTrace fuseTraces(const std::vector<const WorkloadTrace *> &parts);
+
+/**
+ * Exact work accounting of a trace, on quantities that partition
+ * *exactly* under the parallel splits below.  The psi-weighted MAC
+ * total (GemmEvent::macs) is floating point and only approximately
+ * distributive, so conservation tests assert on the integer fields
+ * with equality and on weighted_macs with a relative tolerance.
+ */
+struct TraceWork
+{
+    /** Sum of m*k*n*count over all events (psi-free, exact). */
+    int64_t dense_macs = 0;
+    /** Sum of GemmEvent::macs() (psi-weighted, floating point). */
+    double weighted_macs = 0.0;
+    /** Sum of per-layer active rows (WorkloadTrace::retainedRows). */
+    int64_t retained_rows = 0;
+    /** Sum of k*n*2*count over all events (one weight-panel pass). */
+    int64_t weight_bytes = 0;
+};
+
+TraceWork traceWork(const WorkloadTrace &trace);
+
+/**
+ * Megatron-style tensor-parallel split of @p trace into @p tp shards.
+ *
+ * Per layer: QKV and FFN gate/up are column-parallel (the output dim
+ * n partitions), O-proj and FFN down are row-parallel (the inner dim
+ * k partitions), and the per-head attention events (QK^T, PV)
+ * partition by head count.  Every dimension is apportioned with an
+ * exact integer split (shard i gets total/tp plus one of the
+ * remainder), so dense MACs and weight bytes sum back to the unsplit
+ * totals exactly; token rows replicate — every shard streams the full
+ * activation set, which is what the post-layer all-reduce pays for.
+ * Shards carry tp_degree/tp_rank so simulateAccelerator adds the
+ * reduce-scatter + all-gather interconnect term after O-proj and
+ * down; tp == 1 returns the input verbatim.
+ *
+ * Fatal when tp is non-positive or exceeds the head count (a shard
+ * would own no attention head).
+ */
+std::vector<WorkloadTrace> splitTensorParallel(const WorkloadTrace &trace,
+                                               int tp);
+
+/**
+ * Data-parallel split: partition the per-request @p parts round-robin
+ * across @p dp engine groups and fuse each group (fuseTraces).  Rows
+ * and MACs partition exactly; weights replicate per group (each
+ * engine streams the full panel set).  No interconnect term —
+ * inference data parallelism needs no gradient exchange.
+ *
+ * Fatal when dp is non-positive or exceeds the part count (a group
+ * would be empty).
+ */
+std::vector<WorkloadTrace>
+splitDataParallel(const std::vector<const WorkloadTrace *> &parts, int dp);
 
 } // namespace focus
 

@@ -411,5 +411,174 @@ TEST(TraceFusionDeathTest, GeometryMismatchIsFatal)
                 ::testing::ExitedWithCode(1), "incompatible");
 }
 
+// ---- parallel splits (cluster sharding seam) ----
+
+/** Focus trace with SIC psi — the hardest case for conservation. */
+WorkloadTrace
+focusTrace()
+{
+    const ModelProfile mp = modelProfile("Llava-Vid");
+    const DatasetProfile dp = datasetProfile("VideoMME");
+    const FunctionalAggregate agg =
+        flatAggregate(mp.layers, 1.0, 0.55);
+    return buildTrace(mp, dp, MethodConfig::focusFull(), agg);
+}
+
+TEST(TraceSplit, TensorParallelConservesWorkExactly)
+{
+    const WorkloadTrace tr = focusTrace();
+    const TraceWork total = traceWork(tr);
+
+    for (const int tp : {2, 3, 7}) {
+        const std::vector<WorkloadTrace> shards =
+            splitTensorParallel(tr, tp);
+        ASSERT_EQ(shards.size(), static_cast<size_t>(tp));
+
+        int64_t macs = 0, bytes = 0, heads = 0, inner = 0;
+        double weighted = 0.0;
+        for (int r = 0; r < tp; ++r) {
+            const WorkloadTrace &sh = shards[static_cast<size_t>(r)];
+            EXPECT_EQ(sh.tp_degree, tp);
+            EXPECT_EQ(sh.tp_rank, r);
+            EXPECT_EQ(sh.layers.size(), tr.layers.size());
+            const TraceWork w = traceWork(sh);
+            // Token rows replicate: every shard streams the full
+            // activation set.
+            EXPECT_EQ(w.retained_rows, total.retained_rows);
+            macs += w.dense_macs;
+            bytes += w.weight_bytes;
+            weighted += w.weighted_macs;
+            heads += sh.heads;
+            inner += sh.ffn_inner;
+        }
+        // Integer quantities partition with no remainder lost.
+        EXPECT_EQ(macs, total.dense_macs);
+        EXPECT_EQ(bytes, total.weight_bytes);
+        EXPECT_EQ(heads, tr.heads);
+        EXPECT_EQ(inner, tr.ffn_inner);
+        // psi-weighted MACs are floating point: only near-exact.
+        EXPECT_NEAR(weighted, total.weighted_macs,
+                    1e-9 * total.weighted_macs);
+    }
+}
+
+TEST(TraceSplit, TensorParallelPartitionsEverySite)
+{
+    const WorkloadTrace tr = focusTrace();
+    const int tp = 4;
+    const std::vector<WorkloadTrace> shards =
+        splitTensorParallel(tr, tp);
+    for (size_t l = 0; l < tr.layers.size(); ++l) {
+        const std::vector<GemmEvent> &full = tr.layers[l].gemms;
+        for (size_t g = 0; g < full.size(); ++g) {
+            int64_t n_sum = 0, k_sum = 0;
+            int count_sum = 0;
+            for (const WorkloadTrace &sh : shards) {
+                const GemmEvent &e = sh.layers[l].gemms[g];
+                EXPECT_EQ(e.site, full[g].site);
+                EXPECT_EQ(e.m, full[g].m);
+                n_sum += e.n;
+                k_sum += e.k;
+                count_sum += e.count;
+            }
+            switch (full[g].site) {
+              case GemmSite::Qkv:
+              case GemmSite::GateUp:
+                // Column parallel: n partitions, k/count replicate.
+                EXPECT_EQ(n_sum, full[g].n);
+                EXPECT_EQ(k_sum, tp * full[g].k);
+                EXPECT_EQ(count_sum, tp * full[g].count);
+                break;
+              case GemmSite::OProj:
+              case GemmSite::Down:
+                // Row parallel: k partitions, n/count replicate.
+                EXPECT_EQ(k_sum, full[g].k);
+                EXPECT_EQ(n_sum, tp * full[g].n);
+                EXPECT_EQ(count_sum, tp * full[g].count);
+                break;
+              case GemmSite::Qk:
+              case GemmSite::Pv:
+                // Head parallel: count partitions, dims replicate.
+                EXPECT_EQ(count_sum, full[g].count);
+                EXPECT_EQ(n_sum, tp * full[g].n);
+                EXPECT_EQ(k_sum, tp * full[g].k);
+                break;
+            }
+        }
+    }
+}
+
+TEST(TraceSplit, TensorParallelOfOneIsVerbatim)
+{
+    const ModelProfile mp = modelProfile("Llava-Vid");
+    const DatasetProfile dp = datasetProfile("VideoMME");
+    const WorkloadTrace tr = buildDenseTrace(mp, dp);
+    const std::vector<WorkloadTrace> shards =
+        splitTensorParallel(tr, 1);
+    ASSERT_EQ(shards.size(), 1u);
+    EXPECT_EQ(shards[0].tp_degree, 1);
+    const TraceWork a = traceWork(tr);
+    const TraceWork b = traceWork(shards[0]);
+    EXPECT_EQ(a.dense_macs, b.dense_macs);
+    EXPECT_EQ(a.weight_bytes, b.weight_bytes);
+    EXPECT_EQ(a.retained_rows, b.retained_rows);
+    EXPECT_EQ(a.weighted_macs, b.weighted_macs);
+}
+
+TEST(TraceSplit, DataParallelConservesRequestWork)
+{
+    const ModelProfile mp = modelProfile("Llava-Vid");
+    const DatasetProfile dsp = datasetProfile("VideoMME");
+    const WorkloadTrace dense = buildDenseTrace(mp, dsp);
+    const WorkloadTrace focus = focusTrace();
+    const std::vector<const WorkloadTrace *> parts = {
+        &focus, &dense, &focus, &focus, &dense};
+    const TraceWork total = traceWork(fuseTraces(parts));
+
+    for (const int dp : {2, 3, 5}) {
+        const std::vector<WorkloadTrace> groups =
+            splitDataParallel(parts, dp);
+        ASSERT_EQ(groups.size(), static_cast<size_t>(dp));
+        int64_t macs = 0, rows = 0;
+        int batch = 0;
+        double weighted = 0.0;
+        for (const WorkloadTrace &g : groups) {
+            const TraceWork w = traceWork(g);
+            macs += w.dense_macs;
+            rows += w.retained_rows;
+            weighted += w.weighted_macs;
+            batch += g.batch_size;
+        }
+        // Requests (and so MACs and rows) partition exactly;
+        // weights replicate per engine group, so no byte assertion.
+        EXPECT_EQ(batch, 5);
+        EXPECT_EQ(macs, total.dense_macs);
+        EXPECT_EQ(rows, total.retained_rows);
+        EXPECT_NEAR(weighted, total.weighted_macs,
+                    1e-9 * total.weighted_macs);
+    }
+}
+
+TEST(TraceSplitDeathTest, InvalidSplitFactorsAreFatal)
+{
+    const ModelProfile mp = modelProfile("Llava-Vid");
+    const DatasetProfile dsp = datasetProfile("VideoMME");
+    const WorkloadTrace tr = buildDenseTrace(mp, dsp);
+
+    EXPECT_EXIT(splitTensorParallel(tr, 0),
+                ::testing::ExitedWithCode(1), "invalid split factor");
+    EXPECT_EXIT(splitTensorParallel(tr, -2),
+                ::testing::ExitedWithCode(1), "invalid split factor");
+    EXPECT_EXIT(
+        splitTensorParallel(tr, static_cast<int>(tr.heads) + 1),
+        ::testing::ExitedWithCode(1), "invalid split factor");
+
+    const std::vector<const WorkloadTrace *> parts = {&tr, &tr};
+    EXPECT_EXIT(splitDataParallel(parts, 0),
+                ::testing::ExitedWithCode(1), "invalid split factor");
+    EXPECT_EXIT(splitDataParallel(parts, 3),
+                ::testing::ExitedWithCode(1), "invalid split factor");
+}
+
 } // namespace
 } // namespace focus
