@@ -21,6 +21,7 @@ int
 main(int argc, char **argv)
 {
     const BenchOptions bo = benchOptions(argc, argv, 4);
+    BenchRecorder rec("fig12", bo);
     benchBanner("Fig. 12: DRAM access and activation size", bo);
 
     TextTable dram_table({"Model", "SA", "Adaptiv", "CMC", "Ours"});
@@ -87,6 +88,13 @@ main(int argc, char **argv)
                        fmtF(mean_dram[1], 3), fmtF(mean_dram[2], 3)});
     size_table.addRow({"Mean", "1.000", fmtF(mean_size[0], 3),
                        fmtF(mean_size[1], 3), fmtF(mean_size[2], 3)});
+
+    rec.metric("mean_dram_adaptiv", mean_dram[0]);
+    rec.metric("mean_dram_cmc", mean_dram[1]);
+    rec.metric("mean_dram_focus", mean_dram[2]);
+    rec.metric("mean_size_adaptiv", mean_size[0]);
+    rec.metric("mean_size_cmc", mean_size[1]);
+    rec.metric("mean_size_focus", mean_size[2]);
 
     std::printf("(a) normalized DRAM activation access\n%s\n",
                 dram_table.render().c_str());

@@ -24,6 +24,7 @@ int
 main(int argc, char **argv)
 {
     const BenchOptions bo = benchOptions(argc, argv, 6);
+    BenchRecorder rec("fig13", bo);
     benchBanner("Fig. 13: concentrated tile-length histogram", bo);
 
     ExperimentGrid grid(benchEvalOptions(bo));
@@ -54,6 +55,9 @@ main(int argc, char **argv)
                       hist.binLo(b), hist.binHi(b));
         table.addRow({range, fmtF(density, 4), fmtF(util, 3)});
     }
+    rec.metric("tiles", static_cast<double>(rm.tile_lengths.size()));
+    rec.metric("utilization", rm.utilization);
+
     std::printf("%s\n", table.render().c_str());
     std::printf("Tiles observed: %llu; cycle-weighted array "
                 "utilization: %.3f (paper: 0.922)\n",

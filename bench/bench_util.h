@@ -31,6 +31,8 @@
 #include "eval/experiment.h"
 #include "eval/evaluator.h"
 #include "eval/func_cache.h"
+#include "obs/metrics.h"
+#include "obs/trace_span.h"
 #include "runtime/thread_pool.h"
 #include "sim/gpu_model.h"
 #include "sim/systolic.h"
@@ -207,6 +209,16 @@ class BenchRecorder
         : name_(std::move(name)), samples_(bo.samples),
           start_(std::chrono::steady_clock::now())
     {
+        // Baseline counter snapshot so the obs block reports only the
+        // work attributable to this bench (a process may run several
+        // recorders back to back).
+        if (obs::countersEnabled()) {
+            obs_base_work_ = obs::MetricsRegistry::instance()
+                                 .counterValues(obs::CounterKind::Work);
+            obs_base_sched_ =
+                obs::MetricsRegistry::instance().counterValues(
+                    obs::CounterKind::Sched);
+        }
     }
 
     BenchRecorder(const BenchRecorder &) = delete;
@@ -263,15 +275,58 @@ class BenchRecorder
                          i == 0 ? "" : ",", metrics_[i].first.c_str(),
                          metrics_[i].second);
         }
-        std::fprintf(f, "\n  }\n}\n");
+        std::fprintf(f, "\n  }");
+        // Counter deltas since construction, when FOCUS_OBS enables
+        // the registry.  The snapshot comparator ignores unknown
+        // top-level keys, so checked-in snapshots (recorded with obs
+        // off) stay comparable against obs-on runs.
+        if (obs::countersEnabled()) {
+            std::fprintf(f, ",\n  \"obs\": {\n    \"mode\": \"%s\",\n",
+                         obs::obsModeName(obs::activeObsMode()));
+            writeObsSection(f, "counters", obs::CounterKind::Work,
+                            obs_base_work_);
+            std::fprintf(f, ",\n");
+            writeObsSection(f, "sched_counters",
+                            obs::CounterKind::Sched, obs_base_sched_);
+            std::fprintf(f, "\n  }");
+        }
+        std::fprintf(f, "\n}\n");
         std::fclose(f);
     }
 
   private:
+    static void
+    writeObsSection(
+        FILE *f, const char *section, obs::CounterKind kind,
+        const std::vector<std::pair<std::string, uint64_t>> &base)
+    {
+        const std::vector<std::pair<std::string, uint64_t>> now =
+            obs::MetricsRegistry::instance().counterValues(kind);
+        std::fprintf(f, "    \"%s\": {", section);
+        bool first = true;
+        for (const auto &kv : now) {
+            uint64_t before = 0;
+            for (const auto &b : base) {
+                if (b.first == kv.first) {
+                    before = b.second;
+                    break;
+                }
+            }
+            std::fprintf(f, "%s\n      \"%s\": %llu",
+                         first ? "" : ",", kv.first.c_str(),
+                         static_cast<unsigned long long>(kv.second -
+                                                         before));
+            first = false;
+        }
+        std::fprintf(f, first ? "}" : "\n    }");
+    }
+
     std::string name_;
     int samples_;
     std::chrono::steady_clock::time_point start_;
     std::vector<std::pair<std::string, double>> metrics_;
+    std::vector<std::pair<std::string, uint64_t>> obs_base_work_;
+    std::vector<std::pair<std::string, uint64_t>> obs_base_sched_;
 };
 
 } // namespace focus

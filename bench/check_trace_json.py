@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Validate FOCUS_OBS_JSON output: metrics.json and trace.json.
+
+The obs subsystem (src/obs/) flushes two documents when
+FOCUS_OBS_JSON=<dir> is set and FOCUS_OBS is not off:
+
+  metrics.json  the metrics registry — schema "focus-metrics-v1" with
+                "counters" (work: thread-count-invariant totals),
+                "sched_counters" (scheduling artifacts), "gauges",
+                and "histograms" sections.
+  trace.json    Chrome trace-event JSON ("X" complete events plus "M"
+                thread_name metadata), loadable in Perfetto.
+
+This script checks both documents against those schemas so CI catches
+a malformed flush before a human tries to load it.  With
+--diff-counters it instead compares the *deterministic* sections
+("counters" and "histograms") of two metrics.json files — the CI leg
+runs one bench at --threads=1 and --threads=4 and requires identical
+work totals; sched_counters are exempt by design (chunking and latch
+waits legitimately follow the thread count).
+
+Exit status: 0 on pass, 1 on validation/diff failure, 2 on usage/IO
+errors.
+"""
+
+import argparse
+import json
+import sys
+
+METRICS_SCHEMA = "focus-metrics-v1"
+METRICS_SECTIONS = ("counters", "sched_counters", "gauges",
+                    "histograms")
+DETERMINISTIC_SECTIONS = ("counters", "histograms")
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_trace_json: cannot read {path}: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+
+
+def fail(msg):
+    print(f"check_trace_json: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def check_metrics(doc, path):
+    errors = 0
+    if doc.get("schema") != METRICS_SCHEMA:
+        errors += fail(f"{path}: schema is {doc.get('schema')!r}, "
+                       f"want {METRICS_SCHEMA!r}")
+    if doc.get("mode") not in ("off", "counters", "trace"):
+        errors += fail(f"{path}: bad mode {doc.get('mode')!r}")
+    for section in METRICS_SECTIONS:
+        if not isinstance(doc.get(section), dict):
+            errors += fail(f"{path}: missing section {section!r}")
+    for section in ("counters", "sched_counters"):
+        for name, v in doc.get(section, {}).items():
+            if not isinstance(v, int) or v < 0:
+                errors += fail(f"{path}: {section}.{name} = {v!r} "
+                               "(want a non-negative integer)")
+    for name, h in doc.get("histograms", {}).items():
+        bounds = h.get("bounds")
+        counts = h.get("counts")
+        if (not isinstance(bounds, list) or not bounds or
+                sorted(bounds) != bounds or
+                len(set(bounds)) != len(bounds)):
+            errors += fail(f"{path}: histogram {name}: bounds must "
+                           "be a non-empty strictly ascending list")
+            continue
+        if (not isinstance(counts, list) or
+                len(counts) != len(bounds) + 1):
+            errors += fail(f"{path}: histogram {name}: want "
+                           f"{len(bounds) + 1} counts (bounds + "
+                           f"overflow), got "
+                           f"{len(counts) if isinstance(counts, list) else counts!r}")
+            continue
+        if sum(counts) != h.get("count"):
+            errors += fail(f"{path}: histogram {name}: bucket sum "
+                           f"{sum(counts)} != count {h.get('count')}")
+    return errors
+
+
+def check_trace(doc, path):
+    errors = 0
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail(f"{path}: no traceEvents array")
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph not in ("X", "M"):
+            errors += fail(f"{path}: event {i}: ph={ph!r} "
+                           "(want X or M)")
+            continue
+        for key in ("name", "pid", "tid"):
+            if key not in e:
+                errors += fail(f"{path}: event {i}: missing {key!r}")
+        if ph == "X":
+            for key in ("ts", "dur"):
+                v = e.get(key)
+                if not isinstance(v, (int, float)) or v < 0:
+                    errors += fail(f"{path}: event {i}: {key}={v!r} "
+                                   "(want a non-negative number)")
+            if e.get("cat") is None:
+                errors += fail(f"{path}: event {i}: missing 'cat'")
+    n_x = sum(1 for e in events if e.get("ph") == "X")
+    print(f"check_trace_json: {path}: {len(events)} events "
+          f"({n_x} spans) OK" if errors == 0 else
+          f"check_trace_json: {path}: {errors} error(s)")
+    return errors
+
+
+def diff_counters(a_path, b_path):
+    a, b = load(a_path), load(b_path)
+    errors = check_metrics(a, a_path) + check_metrics(b, b_path)
+    for section in DETERMINISTIC_SECTIONS:
+        sa, sb = a.get(section, {}), b.get(section, {})
+        for name in sorted(set(sa) | set(sb)):
+            if sa.get(name) != sb.get(name):
+                errors += fail(
+                    f"deterministic {section}.{name} differs: "
+                    f"{sa.get(name)!r} ({a_path}) vs "
+                    f"{sb.get(name)!r} ({b_path})")
+    if errors == 0:
+        n = sum(len(a.get(s, {})) for s in DETERMINISTIC_SECTIONS)
+        print(f"check_trace_json: {n} deterministic entries "
+              f"identical across {a_path} and {b_path}")
+    return errors
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--metrics", help="metrics.json to validate")
+    ap.add_argument("--trace", help="trace.json to validate")
+    ap.add_argument("--diff-counters", nargs=2,
+                    metavar=("A", "B"),
+                    help="compare deterministic sections of two "
+                         "metrics.json files")
+    args = ap.parse_args()
+    if not (args.metrics or args.trace or args.diff_counters):
+        ap.error("nothing to do: pass --metrics, --trace, or "
+                 "--diff-counters")
+
+    errors = 0
+    if args.metrics:
+        doc = load(args.metrics)
+        errors += check_metrics(doc, args.metrics)
+        if errors == 0:
+            n = sum(len(doc.get(s, {})) for s in METRICS_SECTIONS)
+            print(f"check_trace_json: {args.metrics}: {n} metrics OK")
+    if args.trace:
+        errors += check_trace(load(args.trace), args.trace)
+    if args.diff_counters:
+        errors += diff_counters(*args.diff_counters)
+    sys.exit(0 if errors == 0 else 1)
+
+
+if __name__ == "__main__":
+    main()

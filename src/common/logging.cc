@@ -1,0 +1,62 @@
+#include "common/logging.h"
+
+#include <atomic>
+
+#include "common/env_dispatch.h"
+
+namespace focus
+{
+
+namespace
+{
+
+const char *const kLevelNames[] = {"quiet", "warn", "info"};
+
+// Zero-initialized false until the dynamic initializer below runs;
+// fatal()/panic() messages from other static initializers still
+// print because the gate only covers warn()/inform().
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::Info)};
+
+// Resolve FOCUS_LOG once at static-init so an unknown value panics at
+// process start, matching the other FOCUS_* dispatch knobs.
+struct LogLevelInit
+{
+    LogLevelInit()
+    {
+        g_log_level.store(static_cast<int>(logLevelFromEnv()),
+                          std::memory_order_relaxed);
+    }
+};
+
+LogLevelInit g_log_level_init;
+
+} // namespace
+
+const char *
+logLevelName(LogLevel l)
+{
+    return kLevelNames[static_cast<int>(l)];
+}
+
+LogLevel
+activeLogLevel()
+{
+    return static_cast<LogLevel>(
+        g_log_level.load(std::memory_order_relaxed));
+}
+
+void
+setLogLevel(LogLevel l)
+{
+    g_log_level.store(static_cast<int>(l), std::memory_order_relaxed);
+}
+
+LogLevel
+logLevelFromEnv()
+{
+    return static_cast<LogLevel>(envBackendChoice(
+        "FOCUS_LOG", kLevelNames, 3,
+        static_cast<int>(LogLevel::Info)));
+}
+
+} // namespace focus

@@ -4,7 +4,15 @@
  *
  * fatal(): user/configuration error, exits with status 1.
  * panic(): internal invariant violation, aborts.
- * warn()/inform(): status messages on stderr.
+ * warn()/inform(): status messages on stderr, gated by a runtime
+ * level.
+ *
+ * The level comes from FOCUS_LOG (quiet | warn | info, default info —
+ * the historical always-print behavior), resolved through the shared
+ * env-dispatch contract (common/env_dispatch.h: unknown values panic
+ * loudly).  `quiet` silences warn() and inform() for bench sweeps and
+ * CI logs; `warn` silences inform() only.  fatal() and panic() always
+ * print — an error exit must never be silenced.
  */
 
 #ifndef FOCUS_COMMON_LOGGING_H
@@ -15,6 +23,33 @@
 
 namespace focus
 {
+
+/** Runtime log level; each level includes the ones below it. */
+enum class LogLevel
+{
+    Quiet, ///< only fatal()/panic()
+    Warn,  ///< + warn()
+    Info   ///< + inform() (default)
+};
+
+/** Name for logging / tests ("quiet" | "warn" | "info"). */
+const char *logLevelName(LogLevel l);
+
+/**
+ * Currently active level.  Initialized once from the FOCUS_LOG
+ * environment variable (default Info; panics on an unknown value).
+ */
+LogLevel activeLogLevel();
+
+/** Override the active level (tests and bench flags flip this). */
+void setLogLevel(LogLevel l);
+
+/**
+ * Re-read FOCUS_LOG from the environment (unset/empty selects Info;
+ * panics on an unknown value).  Tests call this directly for the
+ * dispatch contract; normal code uses activeLogLevel().
+ */
+LogLevel logLevelFromEnv();
 
 /** Report an unrecoverable user error and exit(1). */
 template <typename... Args>
@@ -52,11 +87,14 @@ panic(const char *msg)
     std::abort();
 }
 
-/** Non-fatal warning. */
+/** Non-fatal warning (printed at FOCUS_LOG=warn and above). */
 template <typename... Args>
 void
 warn(const char *fmt, Args... args)
 {
+    if (activeLogLevel() < LogLevel::Warn) {
+        return;
+    }
     std::fprintf(stderr, "warn: ");
     std::fprintf(stderr, fmt, args...);
     std::fprintf(stderr, "\n");
@@ -65,14 +103,20 @@ warn(const char *fmt, Args... args)
 inline void
 warn(const char *msg)
 {
+    if (activeLogLevel() < LogLevel::Warn) {
+        return;
+    }
     std::fprintf(stderr, "warn: %s\n", msg);
 }
 
-/** Informational status message. */
+/** Informational status message (printed at FOCUS_LOG=info only). */
 template <typename... Args>
 void
 inform(const char *fmt, Args... args)
 {
+    if (activeLogLevel() < LogLevel::Info) {
+        return;
+    }
     std::fprintf(stderr, "info: ");
     std::fprintf(stderr, fmt, args...);
     std::fprintf(stderr, "\n");
@@ -81,6 +125,9 @@ inform(const char *fmt, Args... args)
 inline void
 inform(const char *msg)
 {
+    if (activeLogLevel() < LogLevel::Info) {
+        return;
+    }
     std::fprintf(stderr, "info: %s\n", msg);
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "eval/func_cache.h"
+#include "obs/trace_span.h"
 #include "runtime/thread_pool.h"
 
 namespace focus
@@ -87,6 +88,7 @@ MethodEval
 Evaluator::runFunctionalDirect(const MethodConfig &method,
                                ThreadPool *pool) const
 {
+    obs::TraceSpan span("eval.forward");
     // Per-sample forward passes fan out across the pool; each task
     // writes only its own slot.  The aggregation then runs serially
     // in sample order, so every floating-point sum is evaluated in
@@ -109,6 +111,7 @@ MethodEval
 Evaluator::runFunctionalBatched(const MethodConfig &method,
                                 ThreadPool *pool) const
 {
+    obs::TraceSpan span("eval.forward");
     // Contiguous chunks of samples packed through
     // VlmModel::forwardBatch.  Chunking only affects which GEMM a
     // sample's rows ride in — forwardBatch is bit-identical to
@@ -220,6 +223,7 @@ WorkloadTrace
 Evaluator::buildFullTrace(const MethodConfig &method,
                           const MethodEval &eval) const
 {
+    obs::TraceSpan span("eval.trace");
     return buildTrace(mp_, dp_, method, eval.agg);
 }
 
@@ -232,6 +236,7 @@ Evaluator::simulate(const MethodConfig &method, const AccelConfig &accel,
     if (out_eval) {
         *out_eval = ev;
     }
+    obs::TraceSpan span("eval.simulate");
     return simulateAccelerator(accel, tr);
 }
 

@@ -1,5 +1,6 @@
 #include "eval/experiment.h"
 
+#include "obs/trace_span.h"
 #include "sim/accel_model.h"
 
 namespace focus
@@ -56,6 +57,7 @@ ExperimentGrid::run(ThreadPool &pool)
                 WorkloadTrace trace =
                     ev.buildFullTrace(cell.method, r.eval);
                 if (cell.simulate) {
+                    obs::TraceSpan span("eval.simulate");
                     r.metrics =
                         simulateAccelerator(cell.accel, trace);
                 }

@@ -5,6 +5,7 @@
 
 #include "common/env_dispatch.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
 #include "tensor/kernels.h"
 
 namespace focus
@@ -143,6 +144,18 @@ FunctionalCache::getOrCompute(const std::string &key,
             ++hits_;
         }
     }
+    // Hit/miss totals are work counters: each distinct key computes
+    // exactly once regardless of which thread wins the race, so the
+    // split is thread-count invariant.
+    if (obs::countersEnabled()) {
+        static obs::Counter &hits =
+            obs::MetricsRegistry::instance().counter(
+                "func_cache.hits");
+        static obs::Counter &misses =
+            obs::MetricsRegistry::instance().counter(
+                "func_cache.misses");
+        (compute_here ? misses : hits).add(1);
+    }
 
     if (compute_here) {
         try {
@@ -171,6 +184,17 @@ FunctionalCache::getOrCompute(const std::string &key,
     }
 
     std::unique_lock<std::mutex> lock(mu_);
+    if (!entry->ready && !entry->failed) {
+        // Sched counter: whether a hit has to block on the computing
+        // thread is a scheduling accident, not a property of the run.
+        ++latch_waits_;
+        if (obs::countersEnabled()) {
+            static obs::Counter &waits =
+                obs::MetricsRegistry::instance().schedCounter(
+                    "func_cache.latch_waits");
+            waits.add(1);
+        }
+    }
     cv_.wait(lock, [&] { return entry->ready || entry->failed; });
     if (entry->failed) {
         lock.unlock();
@@ -196,6 +220,7 @@ FunctionalCache::clear()
     hits_ = 0;
     misses_ = 0;
     evictions_ = 0;
+    latch_waits_ = 0;
 }
 
 void
@@ -219,11 +244,19 @@ FunctionalCache::capacity() const
 FunctionalCache::Stats
 FunctionalCache::stats() const
 {
+    if (activeFuncCacheMode() == FuncCacheMode::Off) {
+        // Bypassed: the cache serves nothing right now, so report
+        // zeros instead of the stale totals of an earlier On phase
+        // (see the header comment).  Internal counters are kept and
+        // resurface when the mode returns to On.
+        return Stats{};
+    }
     std::lock_guard<std::mutex> lock(mu_);
     Stats s;
     s.hits = hits_;
     s.misses = misses_;
     s.evictions = evictions_;
+    s.latch_waits = latch_waits_;
     s.entries = map_.size();
     return s;
 }
@@ -247,6 +280,12 @@ FunctionalCache::evictOverflowLocked()
         }
         map_.erase(it);
         ++evictions_;
+        if (obs::countersEnabled()) {
+            static obs::Counter &evictions =
+                obs::MetricsRegistry::instance().counter(
+                    "func_cache.evictions");
+            evictions.add(1);
+        }
     }
 }
 

@@ -122,8 +122,20 @@ class FunctionalCache
         std::uint64_t hits = 0;   ///< lookups served from the cache
         std::uint64_t misses = 0; ///< lookups that had to compute
         std::uint64_t evictions = 0;
+        std::uint64_t latch_waits = 0; ///< hits that blocked on compute
         std::size_t entries = 0;  ///< currently resident
     };
+
+    /**
+     * Internal counters.  When the cache is bypassed
+     * (`FOCUS_FUNC_CACHE=off`) this reads all-zero rather than the
+     * stale totals of an earlier on-phase: a bypassed cache serves
+     * nothing, and reporting old hit counts as if they were current
+     * misleads every consumer.  The internal totals are preserved and
+     * reappear when the mode returns to On.  The same counts stream
+     * into the obs registry (`func_cache.*`, see obs/metrics.h) when
+     * `FOCUS_OBS` enables it.
+     */
     Stats stats() const;
 
   private:
@@ -146,6 +158,7 @@ class FunctionalCache
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t evictions_ = 0;
+    std::uint64_t latch_waits_ = 0;
 };
 
 } // namespace focus

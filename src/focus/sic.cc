@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "obs/trace_span.h"
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
 
@@ -92,6 +93,14 @@ sicGather(Tensor &x, const std::vector<TokenCoord> &coords,
     }
     const int64_t slices = cols / vec;
     const int64_t m_tile = std::max<int64_t>(1, cfg.m_tile);
+
+    obs::TraceSpan span("sic.gather");
+    if (obs::countersEnabled()) {
+        static obs::Counter &tokens =
+            obs::MetricsRegistry::instance().counter(
+                "sic.gather.tokens");
+        tokens.add(static_cast<uint64_t>(rows));
+    }
 
     SicResult res;
     CoordIndex index(coords);

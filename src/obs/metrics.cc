@@ -1,0 +1,314 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/env_dispatch.h"
+#include "common/logging.h"
+
+namespace focus
+{
+namespace obs
+{
+
+namespace
+{
+
+const char *const kModeNames[] = {"off", "counters", "trace"};
+
+} // namespace
+
+namespace detail
+{
+
+// Zero-initialized (Off) until this dynamic initializer runs; see
+// metrics.h.  An invalid FOCUS_OBS value panics at process start —
+// a typo must never silently disable telemetry.
+std::atomic<int> g_mode{static_cast<int>(obsModeFromEnv())};
+
+} // namespace detail
+
+const char *
+obsModeName(ObsMode m)
+{
+    return kModeNames[static_cast<int>(m)];
+}
+
+bool
+parseObsMode(const char *name, ObsMode &out)
+{
+    const std::string s(name != nullptr ? name : "");
+    for (int i = 0; i < 3; ++i) {
+        if (s == kModeNames[i]) {
+            out = static_cast<ObsMode>(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+ObsMode
+obsModeFromEnv()
+{
+    return static_cast<ObsMode>(
+        envBackendChoice("FOCUS_OBS", kModeNames, 3, 0));
+}
+
+ObsMode
+activeObsMode()
+{
+    return static_cast<ObsMode>(
+        detail::g_mode.load(std::memory_order_relaxed));
+}
+
+void
+setObsMode(ObsMode m)
+{
+    detail::g_mode.store(static_cast<int>(m),
+                         std::memory_order_relaxed);
+}
+
+// -----------------------------------------------------------------
+// Histogram
+// -----------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(bounds_.size() + 1)
+{
+    if (bounds_.empty()) {
+        panic("obs::Histogram: at least one bucket bound required");
+    }
+    for (size_t i = 1; i < bounds_.size(); ++i) {
+        if (!(bounds_[i - 1] < bounds_[i])) {
+            panic("obs::Histogram: bounds must be strictly ascending "
+                  "(bound[%zu]=%g >= bound[%zu]=%g)",
+                  i - 1, bounds_[i - 1], i, bounds_[i]);
+        }
+    }
+}
+
+void
+Histogram::observe(double v)
+{
+    // First bucket whose inclusive upper bound admits v; everything
+    // past the last bound lands in the overflow bucket.
+    const size_t i = static_cast<size_t>(
+        std::lower_bound(bounds_.begin(), bounds_.end(), v) -
+        bounds_.begin());
+    counts_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+Histogram::reset()
+{
+    for (std::atomic<uint64_t> &c : counts_) {
+        c.store(0, std::memory_order_relaxed);
+    }
+    count_.store(0, std::memory_order_relaxed);
+}
+
+// -----------------------------------------------------------------
+// MetricsRegistry
+// -----------------------------------------------------------------
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    // Leaked: instrumented code and the atexit flush may run during
+    // static destruction, after a function-local static would have
+    // been destroyed.
+    static MetricsRegistry *reg = new MetricsRegistry();
+    return *reg;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+        it = counters_
+                 .emplace(name, std::unique_ptr<Counter>(new Counter(
+                                    CounterKind::Work)))
+                 .first;
+    } else if (it->second->kind() != CounterKind::Work) {
+        panic("obs counter '%s' already registered as a sched "
+              "counter", name.c_str());
+    }
+    return *it->second;
+}
+
+Counter &
+MetricsRegistry::schedCounter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+        it = counters_
+                 .emplace(name, std::unique_ptr<Counter>(new Counter(
+                                    CounterKind::Sched)))
+                 .first;
+    } else if (it->second->kind() != CounterKind::Sched) {
+        panic("obs counter '%s' already registered as a work "
+              "counter", name.c_str());
+    }
+    return *it->second;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+        it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge()))
+                 .first;
+    }
+    return *it->second;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           const std::vector<double> &bounds)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        it = histograms_
+                 .emplace(name, std::unique_ptr<Histogram>(
+                                    new Histogram(bounds)))
+                 .first;
+    } else if (it->second->bounds_ != bounds) {
+        panic("obs histogram '%s' already registered with different "
+              "bucket bounds", name.c_str());
+    }
+    return *it->second;
+}
+
+void
+MetricsRegistry::resetAll()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto &kv : counters_) {
+        kv.second->reset();
+    }
+    for (auto &kv : gauges_) {
+        kv.second->reset();
+    }
+    for (auto &kv : histograms_) {
+        kv.second->reset();
+    }
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+MetricsRegistry::counterValues(CounterKind kind) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::pair<std::string, uint64_t>> out;
+    for (const auto &kv : counters_) {
+        if (kv.second->kind() == kind) {
+            out.emplace_back(kv.first, kv.second->value());
+        }
+    }
+    return out; // std::map iteration is already name-sorted
+}
+
+namespace
+{
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    for (const char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+        }
+        out += c;
+    }
+}
+
+void
+appendCounterSection(
+    std::string &out, const char *section,
+    const std::vector<std::pair<std::string, uint64_t>> &values)
+{
+    out += "  \"";
+    out += section;
+    out += "\": {";
+    char buf[32];
+    for (size_t i = 0; i < values.size(); ++i) {
+        out += i == 0 ? "\n    \"" : ",\n    \"";
+        appendEscaped(out, values[i].first);
+        std::snprintf(buf, sizeof buf, "\": %" PRIu64,
+                      values[i].second);
+        out += buf;
+    }
+    out += values.empty() ? "}" : "\n  }";
+}
+
+} // namespace
+
+std::string
+MetricsRegistry::toJson() const
+{
+    const std::vector<std::pair<std::string, uint64_t>> work =
+        counterValues(CounterKind::Work);
+    const std::vector<std::pair<std::string, uint64_t>> sched =
+        counterValues(CounterKind::Sched);
+
+    std::string out;
+    out.reserve(4096);
+    out += "{\n  \"schema\": \"focus-metrics-v1\",\n  \"mode\": \"";
+    out += obsModeName(activeObsMode());
+    out += "\",\n";
+    appendCounterSection(out, "counters", work);
+    out += ",\n";
+    appendCounterSection(out, "sched_counters", sched);
+    out += ",\n  \"gauges\": {";
+
+    std::lock_guard<std::mutex> lock(mu_);
+    char buf[48];
+    bool first = true;
+    for (const auto &kv : gauges_) {
+        out += first ? "\n    \"" : ",\n    \"";
+        first = false;
+        appendEscaped(out, kv.first);
+        std::snprintf(buf, sizeof buf, "\": %" PRId64,
+                      kv.second->value());
+        out += buf;
+    }
+    out += first ? "}" : "\n  }";
+
+    out += ",\n  \"histograms\": {";
+    first = true;
+    for (const auto &kv : histograms_) {
+        const Histogram &h = *kv.second;
+        out += first ? "\n    \"" : ",\n    \"";
+        first = false;
+        appendEscaped(out, kv.first);
+        out += "\": {\"bounds\": [";
+        for (size_t i = 0; i < h.bounds_.size(); ++i) {
+            std::snprintf(buf, sizeof buf, "%s%.17g",
+                          i == 0 ? "" : ", ", h.bounds_[i]);
+            out += buf;
+        }
+        out += "], \"counts\": [";
+        for (size_t i = 0; i < h.buckets(); ++i) {
+            std::snprintf(buf, sizeof buf, "%s%" PRIu64,
+                          i == 0 ? "" : ", ", h.bucketCount(i));
+            out += buf;
+        }
+        std::snprintf(buf, sizeof buf, "], \"count\": %" PRIu64 "}",
+                      h.count());
+        out += buf;
+    }
+    out += first ? "}" : "\n  }";
+    out += "\n}\n";
+    return out;
+}
+
+} // namespace obs
+} // namespace focus

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Process-wide metrics registry: named counters, gauges, and
+ * fixed-bucket histograms behind a single runtime observability knob.
+ *
+ * Every hot layer of the reproduction (thread pool, GEMM/SFU kernels,
+ * functional cache, evaluator, serving, cluster) reports into one
+ * registry so a bench or serving run can explain *where* its work
+ * went — the always-on equivalent of the paper's per-stage breakdown
+ * figures.  The design contract:
+ *
+ *  - **Lock-light.** Updates are single relaxed atomic adds on
+ *    registered handles; the registry mutex is only taken at
+ *    registration (first use of a name) and export.
+ *  - **Off by default, one-branch off path.** `FOCUS_OBS=off` (the
+ *    ctest default) makes every instrumentation site a single relaxed
+ *    atomic load plus an untaken branch — no clock reads, no
+ *    registration, no allocation.  Bench/test output is bit-identical
+ *    to uninstrumented binaries.
+ *  - **Deterministic aggregates.** Counters come in two kinds.
+ *    *Work* counters (`counter()`) count units of work — MACs, rows,
+ *    requests, cache misses — whose totals are bit-identical at any
+ *    thread count because atomic integer adds commute.  *Sched*
+ *    counters (`schedCounter()`) count scheduling artifacts —
+ *    invocation counts that follow thread-dependent chunking, latch
+ *    waits, dropped trace events — and are exported in a separate
+ *    section that determinism checks skip.  Export order is
+ *    name-sorted, so the flushed JSON never depends on which thread
+ *    registered a name first.
+ *
+ * Mode dispatch follows the repo's backend-knob contract
+ * (`common/env_dispatch.h`): `FOCUS_OBS=off|counters|trace`, default
+ * off, panic on an unknown value.  `counters` enables the registry;
+ * `trace` additionally enables the scoped spans of
+ * `obs/trace_span.h`.  `FOCUS_OBS_JSON=<dir>` registers an atexit
+ * flush of `metrics.json` + `trace.json` into the directory
+ * (validated by `bench/check_trace_json.py`).
+ *
+ * Instrumentation idiom (registration amortized to one mutex hit per
+ * site via the function-local static):
+ *
+ *     if (obs::countersEnabled()) {
+ *         static obs::Counter &c = obs::MetricsRegistry::instance()
+ *             .counter("kernels.gemm.portable.macs");
+ *         c.add(static_cast<uint64_t>(m * n * k));
+ *     }
+ */
+
+#ifndef FOCUS_OBS_METRICS_H
+#define FOCUS_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace focus
+{
+namespace obs
+{
+
+/** Observability mode (see file comment). */
+enum class ObsMode
+{
+    Off,      ///< no recording anywhere (default; ctest runs this)
+    Counters, ///< metrics registry live, spans disabled
+    Trace     ///< registry + scoped trace spans into ring buffers
+};
+
+/** Name for logging / JSON ("off" | "counters" | "trace"). */
+const char *obsModeName(ObsMode m);
+
+/**
+ * Parse a mode name; returns false on an unknown name (the env-init
+ * path panics instead, per the env-dispatch contract).
+ */
+bool parseObsMode(const char *name, ObsMode &out);
+
+/**
+ * Re-read FOCUS_OBS from the environment: unset/empty selects Off, a
+ * known name selects that mode, an unknown name panics listing the
+ * valid choices.  The process mode is initialized from this once at
+ * static-init time; tests call it directly for the death contract.
+ */
+ObsMode obsModeFromEnv();
+
+/** Currently active mode. */
+ObsMode activeObsMode();
+
+/** Override the active mode (tests flip this to compare paths). */
+void setObsMode(ObsMode m);
+
+namespace detail
+{
+/**
+ * Active mode as a raw int.  Zero-initialized (= Off) before its
+ * dynamic initializer reads FOCUS_OBS, so instrumentation reached
+ * from other static initializers safely records nothing.
+ */
+extern std::atomic<int> g_mode;
+} // namespace detail
+
+/** True when the registry records (mode counters or trace). */
+inline bool
+countersEnabled()
+{
+    return detail::g_mode.load(std::memory_order_relaxed) !=
+        static_cast<int>(ObsMode::Off);
+}
+
+/** True when scoped spans record (mode trace). */
+inline bool
+traceEnabled()
+{
+    return detail::g_mode.load(std::memory_order_relaxed) ==
+        static_cast<int>(ObsMode::Trace);
+}
+
+/** Counter kind: see the determinism contract in the file comment. */
+enum class CounterKind
+{
+    Work, ///< unit-of-work totals, bit-identical at any thread count
+    Sched ///< scheduling artifacts, excluded from determinism checks
+};
+
+/** Monotonic counter; relaxed atomic adds. */
+class Counter
+{
+  public:
+    void
+    add(uint64_t n = 1)
+    {
+        v_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    uint64_t
+    value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+    void
+    reset()
+    {
+        v_.store(0, std::memory_order_relaxed);
+    }
+
+    CounterKind kind() const { return kind_; }
+
+  private:
+    friend class MetricsRegistry;
+    explicit Counter(CounterKind kind) : kind_(kind) {}
+
+    std::atomic<uint64_t> v_{0};
+    CounterKind kind_;
+};
+
+/** Last-writer-wins signed gauge (fleet sizes, occupancy permille). */
+class Gauge
+{
+  public:
+    void
+    set(int64_t v)
+    {
+        v_.store(v, std::memory_order_relaxed);
+    }
+
+    void
+    add(int64_t n)
+    {
+        v_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    int64_t
+    value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+    void
+    reset()
+    {
+        v_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    friend class MetricsRegistry;
+    Gauge() = default;
+
+    std::atomic<int64_t> v_{0};
+};
+
+/**
+ * Fixed-bucket histogram.  Buckets are defined once at registration
+ * by a strictly ascending list of inclusive upper bounds; an implicit
+ * overflow bucket catches everything above the last bound.  A value v
+ * lands in the first bucket i with v <= bound(i).  Per-bucket counts
+ * are relaxed atomics, so totals are bit-identical at any thread
+ * count; no floating-point sum is kept (a concurrent double
+ * accumulation would be order-dependent).
+ */
+class Histogram
+{
+  public:
+    void observe(double v);
+
+    /** Bucket count including the overflow bucket (= bounds + 1). */
+    size_t buckets() const { return counts_.size(); }
+
+    /** Inclusive upper bound of bucket @p i (finite buckets only). */
+    double
+    bound(size_t i) const
+    {
+        return bounds_[i];
+    }
+
+    uint64_t
+    bucketCount(size_t i) const
+    {
+        return counts_[i].load(std::memory_order_relaxed);
+    }
+
+    /** Total observations. */
+    uint64_t
+    count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    void reset();
+
+  private:
+    friend class MetricsRegistry;
+    explicit Histogram(std::vector<double> bounds);
+
+    std::vector<double> bounds_;
+    std::vector<std::atomic<uint64_t>> counts_; ///< bounds + overflow
+    std::atomic<uint64_t> count_{0};
+};
+
+/** Process-wide registry (see file comment). */
+class MetricsRegistry
+{
+  public:
+    /** Leaked singleton: handles stay valid through process exit. */
+    static MetricsRegistry &instance();
+
+    /**
+     * Return the work counter named @p name, registering it on first
+     * use.  Panics if @p name is already registered as a sched
+     * counter (a site's determinism class is a fixed property).
+     */
+    Counter &counter(const std::string &name);
+
+    /** Sched-kind variant of counter(). */
+    Counter &schedCounter(const std::string &name);
+
+    Gauge &gauge(const std::string &name);
+
+    /**
+     * Return the histogram named @p name, registering it with
+     * @p bounds (strictly ascending, non-empty) on first use.  Panics
+     * if it is already registered with different bounds.
+     */
+    Histogram &histogram(const std::string &name,
+                         const std::vector<double> &bounds);
+
+    /** Zero every counter, gauge, and histogram (registrations stay). */
+    void resetAll();
+
+    /**
+     * Name-sorted snapshot of counter values of one kind (the
+     * BenchRecorder obs block and the JSON export both use this).
+     */
+    std::vector<std::pair<std::string, uint64_t>>
+    counterValues(CounterKind kind) const;
+
+    /**
+     * Full registry as a metrics.json document:
+     * {"schema": "focus-metrics-v1", "mode": ..., "counters": {...},
+     *  "sched_counters": {...}, "gauges": {...}, "histograms": {...}}
+     * with every section in name order.
+     */
+    std::string toJson() const;
+
+  private:
+    MetricsRegistry() = default;
+
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace obs
+} // namespace focus
+
+#endif // FOCUS_OBS_METRICS_H

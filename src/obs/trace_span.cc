@@ -1,0 +1,240 @@
+#include "obs/trace_span.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace focus
+{
+namespace obs
+{
+
+namespace
+{
+
+struct TraceEvent
+{
+    const char *name;
+    uint64_t start_ns;
+    uint64_t dur_ns;
+};
+
+/**
+ * One thread's span ring.  Only the owning thread writes; the cursor
+ * counts events ever written (monotonic), published with release so
+ * an exporter's acquire load sees completed slots.  Slot reuse past
+ * kTraceRingCapacity overwrites the oldest events.
+ */
+struct ThreadRing
+{
+    int tid = 0;
+    std::atomic<uint64_t> cursor{0};
+    std::vector<TraceEvent> events{
+        std::vector<TraceEvent>(kTraceRingCapacity)};
+};
+
+std::mutex g_rings_mu;
+// Leaked: rings of exited threads must stay readable for the final
+// flush (the pool's workers outlive most spans but not the atexit).
+std::vector<ThreadRing *> &
+ringList()
+{
+    static std::vector<ThreadRing *> *rings =
+        new std::vector<ThreadRing *>();
+    return *rings;
+}
+
+ThreadRing &
+localRing()
+{
+    thread_local ThreadRing *ring = [] {
+        ThreadRing *r = new ThreadRing();
+        std::lock_guard<std::mutex> lock(g_rings_mu);
+        std::vector<ThreadRing *> &rings = ringList();
+        r->tid = static_cast<int>(rings.size());
+        rings.push_back(r);
+        return r;
+    }();
+    return *ring;
+}
+
+std::chrono::steady_clock::time_point
+traceEpoch()
+{
+    static const std::chrono::steady_clock::time_point t0 =
+        std::chrono::steady_clock::now();
+    return t0;
+}
+
+void
+appendEvent(std::string &out, const TraceEvent &e, int tid,
+            bool first)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "%s\n  {\"name\": \"%s\", \"cat\": \"focus\", "
+                  "\"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, "
+                  "\"pid\": 1, \"tid\": %d}",
+                  first ? "" : ",", e.name,
+                  static_cast<double>(e.start_ns) / 1e3,
+                  static_cast<double>(e.dur_ns) / 1e3, tid);
+    out += buf;
+}
+
+void
+flushAtExit()
+{
+    const char *dir = std::getenv("FOCUS_OBS_JSON");
+    if (dir != nullptr && *dir != '\0' &&
+        activeObsMode() != ObsMode::Off) {
+        flushObsJson(dir);
+    }
+}
+
+/**
+ * Registers the FOCUS_OBS_JSON atexit flush once the obs mode has
+ * been initialized from the environment.  Registration itself is
+ * unconditional (the env is re-read at exit), so a test that flips
+ * the mode after startup still flushes.
+ */
+struct FlushRegistrar
+{
+    FlushRegistrar()
+    {
+        const char *dir = std::getenv("FOCUS_OBS_JSON");
+        if (dir != nullptr && *dir != '\0') {
+            std::atexit(flushAtExit);
+        }
+    }
+};
+
+FlushRegistrar g_flush_registrar;
+
+} // namespace
+
+uint64_t
+traceNowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - traceEpoch())
+            .count());
+}
+
+void
+TraceSpan::record(const char *name, uint64_t start_ns,
+                  uint64_t end_ns)
+{
+    ThreadRing &ring = localRing();
+    const uint64_t c = ring.cursor.load(std::memory_order_relaxed);
+    TraceEvent &slot = ring.events[c % kTraceRingCapacity];
+    slot.name = name;
+    slot.start_ns = start_ns;
+    slot.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+    ring.cursor.store(c + 1, std::memory_order_release);
+    if (c >= kTraceRingCapacity && countersEnabled()) {
+        static Counter &dropped =
+            MetricsRegistry::instance().schedCounter(
+                "obs.trace.dropped");
+        dropped.add(1);
+    }
+}
+
+size_t
+traceEventCount()
+{
+    std::lock_guard<std::mutex> lock(g_rings_mu);
+    size_t total = 0;
+    for (const ThreadRing *ring : ringList()) {
+        const uint64_t c = ring->cursor.load(std::memory_order_acquire);
+        total += static_cast<size_t>(
+            c < kTraceRingCapacity ? c : kTraceRingCapacity);
+    }
+    return total;
+}
+
+uint64_t
+traceDroppedCount()
+{
+    std::lock_guard<std::mutex> lock(g_rings_mu);
+    uint64_t total = 0;
+    for (const ThreadRing *ring : ringList()) {
+        const uint64_t c = ring->cursor.load(std::memory_order_acquire);
+        total += c < kTraceRingCapacity ? 0 : c - kTraceRingCapacity;
+    }
+    return total;
+}
+
+void
+clearTrace()
+{
+    std::lock_guard<std::mutex> lock(g_rings_mu);
+    for (ThreadRing *ring : ringList()) {
+        ring->cursor.store(0, std::memory_order_release);
+    }
+}
+
+std::string
+traceJson()
+{
+    std::lock_guard<std::mutex> lock(g_rings_mu);
+    std::string out;
+    out.reserve(1 << 16);
+    out += "{\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [";
+    bool first = true;
+    char buf[160];
+    for (const ThreadRing *ring : ringList()) {
+        std::snprintf(buf, sizeof buf,
+                      "%s\n  {\"name\": \"thread_name\", \"ph\": "
+                      "\"M\", \"pid\": 1, \"tid\": %d, \"args\": "
+                      "{\"name\": \"focus-thread-%d\"}}",
+                      first ? "" : ",", ring->tid, ring->tid);
+        out += buf;
+        first = false;
+        const uint64_t c = ring->cursor.load(std::memory_order_acquire);
+        const uint64_t resident =
+            c < kTraceRingCapacity ? c : kTraceRingCapacity;
+        // Oldest resident event first: slot order below the wrap
+        // point, cursor order past it.
+        const uint64_t begin = c - resident;
+        for (uint64_t i = 0; i < resident; ++i) {
+            const TraceEvent &e =
+                ring->events[(begin + i) % kTraceRingCapacity];
+            appendEvent(out, e, ring->tid, false);
+        }
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+void
+flushObsJson(const std::string &dir)
+{
+    const std::string prefix = dir.empty() ? "" : dir + "/";
+    const struct
+    {
+        const char *file;
+        std::string body;
+    } outputs[] = {
+        {"metrics.json", MetricsRegistry::instance().toJson()},
+        {"trace.json", traceJson()},
+    };
+    for (const auto &o : outputs) {
+        const std::string path = prefix + o.file;
+        FILE *f = std::fopen(path.c_str(), "w");
+        if (f == nullptr) {
+            warn("obs: cannot write %s (skipped)", path.c_str());
+            continue;
+        }
+        std::fwrite(o.body.data(), 1, o.body.size(), f);
+        std::fclose(f);
+    }
+}
+
+} // namespace obs
+} // namespace focus

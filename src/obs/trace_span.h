@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Scoped trace spans: RAII wall-clock timers recording (name, tid,
+ * start, duration) into per-thread ring buffers, exported as Chrome
+ * trace-event JSON ("X" complete events) that Perfetto loads
+ * directly.
+ *
+ * Recording is gated on `FOCUS_OBS=trace` (`obs::traceEnabled()`): a
+ * span constructed in any other mode is a single relaxed atomic load
+ * plus an untaken branch — no clock read, no buffer touch.  Each
+ * thread owns a fixed-capacity ring (`kTraceRingCapacity` events), so
+ * memory stays bounded on arbitrarily long runs: once a ring wraps,
+ * the oldest events are overwritten (streaming-safe — the flushed
+ * trace is the most recent window) and the `obs.trace.dropped` sched
+ * counter records how many were lost.
+ *
+ * Span names must be string literals (or otherwise outlive the
+ * process): the ring stores the pointer, not a copy, which keeps the
+ * record path allocation-free.
+ *
+ * Export: `traceJson()` renders every resident event;
+ * `flushObsJson(dir)` writes `metrics.json` (the registry) and
+ * `trace.json` (the spans) into @p dir.  When `FOCUS_OBS_JSON=<dir>`
+ * is set and the mode is not off, the same flush runs automatically
+ * at process exit.  Readers snapshot ring cursors with acquire loads;
+ * flushing while spans are actively being recorded is safe but may
+ * omit (or, on a concurrently wrapping ring, tear) the newest events
+ * — the atexit and bench flush points run at quiescence.
+ */
+
+#ifndef FOCUS_OBS_TRACE_SPAN_H
+#define FOCUS_OBS_TRACE_SPAN_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace focus
+{
+namespace obs
+{
+
+/** Per-thread ring capacity in events (~1.5 MiB per thread). */
+constexpr size_t kTraceRingCapacity = size_t{1} << 16;
+
+/** Nanoseconds since the process trace epoch (first use). */
+uint64_t traceNowNs();
+
+/** RAII span; records on destruction when tracing is enabled. */
+class TraceSpan
+{
+  public:
+    explicit TraceSpan(const char *name)
+    {
+        if (traceEnabled()) {
+            name_ = name;
+            start_ns_ = traceNowNs();
+        }
+    }
+
+    ~TraceSpan()
+    {
+        if (name_ != nullptr) {
+            record(name_, start_ns_, traceNowNs());
+        }
+    }
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+    /**
+     * Append one complete event to the calling thread's ring (spans
+     * use this; exposed for instrumentation that cannot scope an
+     * object, e.g. phases spanning a callback boundary).
+     */
+    static void record(const char *name, uint64_t start_ns,
+                       uint64_t end_ns);
+
+  private:
+    const char *name_ = nullptr;
+    uint64_t start_ns_ = 0;
+};
+
+/** Total events currently resident across all thread rings. */
+size_t traceEventCount();
+
+/** Total events overwritten by ring wrap-around across all threads. */
+uint64_t traceDroppedCount();
+
+/**
+ * Reset every ring (test hook).  Must only run while no thread is
+ * recording spans.
+ */
+void clearTrace();
+
+/**
+ * All resident events as a Chrome trace-event JSON document:
+ * {"displayTimeUnit": "ms", "traceEvents": [...]} with one "M"
+ * thread_name metadata event per thread and one "X" complete event
+ * per span (ts/dur in microseconds, pid 1, tid = registration order).
+ */
+std::string traceJson();
+
+/**
+ * Write metrics.json (obs/metrics.h registry) and trace.json
+ * (traceJson()) into @p dir; warns and continues on IO failure.
+ */
+void flushObsJson(const std::string &dir);
+
+} // namespace obs
+} // namespace focus
+
+#endif // FOCUS_OBS_TRACE_SPAN_H

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "obs/trace_span.h"
 
 namespace focus
 {
@@ -60,7 +61,10 @@ ThreadPool::workerLoop()
             }
             ++job->active;
         }
-        runJob(*job);
+        {
+            obs::TraceSpan span("pool.worker.job");
+            runJob(*job);
+        }
         {
             std::lock_guard<std::mutex> lk(m_);
             --job->active;
@@ -102,6 +106,20 @@ ThreadPool::parallelFor(int64_t n,
     if (n <= 0) {
         return;
     }
+    // Sched counters: whether a site reaches parallelFor at all (and
+    // with how many tasks) depends on pool width and nesting, so
+    // these are scheduling artifacts, not work totals.
+    if (obs::countersEnabled()) {
+        static obs::Counter &calls =
+            obs::MetricsRegistry::instance().schedCounter(
+                "pool.parallel_for.calls");
+        static obs::Counter &tasks =
+            obs::MetricsRegistry::instance().schedCounter(
+                "pool.parallel_for.tasks");
+        calls.add(1);
+        tasks.add(static_cast<uint64_t>(n));
+    }
+    obs::TraceSpan span("pool.parallelFor");
     if (threads_ == 1 || tls_in_parallel) {
         // Serial fallback: no threads, no cursor, exceptions
         // propagate directly.  The region is still marked so that a

@@ -4,6 +4,7 @@
 #include <tuple>
 
 #include "common/logging.h"
+#include "obs/trace_span.h"
 #include "runtime/thread_pool.h"
 
 namespace focus
@@ -387,6 +388,7 @@ ClusterSimulator::replayAdvanced(
         while (next < n && sub[next].arrival_s <= t) {
             pending.push_back(next++);
         }
+        obs::TraceSpan step_span("cluster.continuous.step");
         const std::vector<size_t> picked =
             scheduler.pickPending(pending, keys);
         const ShardCost &sc = costSharded(compOf(picked));
@@ -432,17 +434,21 @@ ClusterSimulator::run(const SchedulerConfig &sched, ThreadPool *pool)
 
     // ---- route ----
     std::vector<int> replica_of(n);
-    if (cfg_.routing == RoutingPolicy::RoundRobin) {
-        for (size_t i = 0; i < n; ++i) {
-            replica_of[i] = static_cast<int>(
-                stream[i].id % static_cast<int64_t>(R));
-        }
-    } else {
-        const HashRing ring(R, cfg_.vnodes);
-        for (size_t i = 0; i < n; ++i) {
-            const RequestClass &cls =
-                queue.mix[static_cast<size_t>(stream[i].class_id)];
-            replica_of[i] = ring.route(routingKey(stream[i], cls));
+    {
+        obs::TraceSpan route_span("cluster.route");
+        if (cfg_.routing == RoutingPolicy::RoundRobin) {
+            for (size_t i = 0; i < n; ++i) {
+                replica_of[i] = static_cast<int>(
+                    stream[i].id % static_cast<int64_t>(R));
+            }
+        } else {
+            const HashRing ring(R, cfg_.vnodes);
+            for (size_t i = 0; i < n; ++i) {
+                const RequestClass &cls =
+                    queue.mix[static_cast<size_t>(stream[i].class_id)];
+                replica_of[i] =
+                    ring.route(routingKey(stream[i], cls));
+            }
         }
     }
 
@@ -503,6 +509,20 @@ ClusterSimulator::run(const SchedulerConfig &sched, ThreadPool *pool)
         for (const size_t i : admitted[ri]) {
             sub.push_back(stream[i]);
         }
+        // Routing and shedding are deterministic functions of the
+        // stream (hash ring / round robin + leaky bucket), so the
+        // per-replica split is a work total, not a sched artifact.
+        if (obs::countersEnabled()) {
+            obs::MetricsRegistry &reg =
+                obs::MetricsRegistry::instance();
+            const std::string base =
+                "cluster.replica." + std::to_string(r);
+            reg.counter(base + ".routed")
+                .add(static_cast<uint64_t>(rs.routed));
+            reg.counter(base + ".shed")
+                .add(static_cast<uint64_t>(rs.shed));
+        }
+        obs::TraceSpan replay_span("cluster.replica.replay");
         std::vector<RequestOutcome> sub_out;
         std::vector<BatchRecord> sub_batches;
         if (!sub.empty()) {

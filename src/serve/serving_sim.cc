@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "common/logging.h"
+#include "obs/trace_span.h"
 #include "runtime/thread_pool.h"
 
 namespace focus
@@ -64,6 +65,7 @@ ServingSimulator::calibrate(ThreadPool *pool)
     if (calibrated_) {
         return;
     }
+    obs::TraceSpan span("serve.calibrate");
 
     class_combo_.clear();
     class_dense_.clear();
@@ -229,6 +231,7 @@ ServingSimulator::replayOpenLoop(
     std::vector<BatchRecord> &batches)
 {
     calibrate(pool);
+    obs::TraceSpan span("serve.replay");
     const size_t n = stream.size();
     outcomes.assign(n, RequestOutcome{});
     batches.clear();
@@ -292,6 +295,7 @@ ServingSimulator::replayOpenLoop(
 ServingReport
 ServingSimulator::run(const SchedulerConfig &sched, ThreadPool *pool)
 {
+    obs::TraceSpan span("serve.run");
     calibrate(pool);
     const BatchScheduler scheduler(sched);
     const std::vector<ServeRequest> stream =
@@ -444,6 +448,23 @@ ServingSimulator::assemble(const SchedulerConfig &sched,
             occ / static_cast<double>(rep.batches.size());
     }
 
+    // assemble() runs serially after the replay, so totals recorded
+    // here are trivially thread-count invariant (work counters); the
+    // replay timeline itself is deterministic by construction.
+    if (obs::countersEnabled()) {
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::instance();
+        static obs::Counter &requests =
+            reg.counter("serve.requests");
+        static obs::Counter &shed = reg.counter("serve.shed");
+        static obs::Counter &batch_total =
+            reg.counter("serve.batches");
+        requests.add(rep.outcomes.size());
+        shed.add(static_cast<uint64_t>(rep.shed));
+        batch_total.add(rep.batches.size());
+        reg.gauge("serve.mean_occupancy_permille")
+            .set(static_cast<int64_t>(rep.mean_occupancy * 1000.0));
+    }
+
     for (size_t cls = 0; cls < queue_.mix.size(); ++cls) {
         ClassOutcome co;
         co.label = queue_.mix[cls].label();
@@ -474,6 +495,22 @@ ServingSimulator::assemble(const SchedulerConfig &sched,
         if (co.requests > 0) {
             co.slo_attainment = static_cast<double>(cls_slo) /
                 static_cast<double>(co.requests);
+        }
+        if (obs::countersEnabled()) {
+            // Power-of-4 latency ladder from 1 ms to 256 s; bounds
+            // are fixed so every run of a class shares one histogram.
+            static const std::vector<double> kLatencyBounds = {
+                0.001, 0.004, 0.016, 0.064, 0.25, 1.0, 4.0, 16.0,
+                64.0, 256.0};
+            obs::Histogram &h =
+                obs::MetricsRegistry::instance().histogram(
+                    "serve.class." + co.label + ".latency_s",
+                    kLatencyBounds);
+            for (const RequestOutcome &o : rep.outcomes) {
+                if (o.class_id == static_cast<int>(cls) && !o.shed) {
+                    h.observe(o.latency_s());
+                }
+            }
         }
         rep.classes.push_back(std::move(co));
     }

@@ -14,6 +14,7 @@
 #include "common/env_dispatch.h"
 #include "common/half.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
 #include "runtime/thread_pool.h"
 #include "tensor/ops.h"
 
@@ -870,6 +871,20 @@ softmaxRowsF32(int64_t rows, int64_t cols, float *x, int64_t ld)
         // matching the k=0 degenerate-shape rule of the GEMM tier.
         return;
     }
+    // Per-backend counter names freeze the math backend at first use;
+    // the backend is a per-process knob in real runs.
+    if (obs::countersEnabled()) {
+        static obs::Counter &calls =
+            obs::MetricsRegistry::instance().schedCounter(
+                std::string("kernels.softmax.") +
+                mathBackendName(activeMathBackend()) + ".calls");
+        static obs::Counter &row_total =
+            obs::MetricsRegistry::instance().counter(
+                std::string("kernels.softmax.") +
+                mathBackendName(activeMathBackend()) + ".rows");
+        calls.add(1);
+        row_total.add(static_cast<uint64_t>(rows));
+    }
     if (activeMathBackend() == MathBackend::Vector) {
         forRowRanges(rows, cols, [&](int64_t i0, int64_t i1) {
             for (int64_t i = i0; i < i1; ++i) {
@@ -995,6 +1010,18 @@ simGatherF32(const float *key, float key_norm, const float *pack,
     if (count <= 0) {
         return;
     }
+    if (obs::countersEnabled()) {
+        static obs::Counter &calls =
+            obs::MetricsRegistry::instance().schedCounter(
+                std::string("kernels.sim_gather.") +
+                mathBackendName(activeMathBackend()) + ".calls");
+        static obs::Counter &dots =
+            obs::MetricsRegistry::instance().counter(
+                std::string("kernels.sim_gather.") +
+                mathBackendName(activeMathBackend()) + ".dots");
+        calls.add(1);
+        dots.add(static_cast<uint64_t>(count));
+    }
     if (activeMathBackend() != MathBackend::Vector) {
         for (int64_t c = 0; c < count; ++c) {
             sims[c] = cosineSimilarityPrenorm(
@@ -1032,6 +1059,19 @@ gemmF32(int64_t m, int64_t n, int64_t k, const float *a, int64_t lda,
             }
         }
         return;
+    }
+    // MAC totals are work (fixed by the problem shapes); invocation
+    // counts are sched (call sites may batch or split differently).
+    if (obs::countersEnabled()) {
+        static obs::Counter &calls =
+            obs::MetricsRegistry::instance().schedCounter(
+                "kernels.gemm.portable.calls");
+        static obs::Counter &macs =
+            obs::MetricsRegistry::instance().counter(
+                "kernels.gemm.portable.macs");
+        calls.add(1);
+        macs.add(static_cast<uint64_t>(m) *
+                 static_cast<uint64_t>(n) * static_cast<uint64_t>(k));
     }
     static thread_local std::vector<float> bpack_tls;
     const int64_t panels = (n + kNr - 1) / kNr;
@@ -1071,6 +1111,17 @@ gemmTransBF32(int64_t m, int64_t n, int64_t k, const float *a,
 {
     if (m <= 0 || n <= 0) {
         return;
+    }
+    if (obs::countersEnabled()) {
+        static obs::Counter &calls =
+            obs::MetricsRegistry::instance().schedCounter(
+                "kernels.gemm.transb.calls");
+        static obs::Counter &macs =
+            obs::MetricsRegistry::instance().counter(
+                "kernels.gemm.transb.macs");
+        calls.add(1);
+        macs.add(static_cast<uint64_t>(m) *
+                 static_cast<uint64_t>(n) * static_cast<uint64_t>(k));
     }
     // Tile B rows so a j-tile stays cache-resident across the i loop.
     constexpr int64_t kJTile = 64;
@@ -1221,6 +1272,20 @@ gemmNaiveF32(int64_t m, int64_t n, int64_t k, const float *a,
              int64_t lda, const float *b, int64_t ldb, float *c,
              int64_t ldc, bool fp16_inputs)
 {
+    if (obs::countersEnabled()) {
+        static obs::Counter &calls =
+            obs::MetricsRegistry::instance().schedCounter(
+                "kernels.gemm.naive.calls");
+        static obs::Counter &macs =
+            obs::MetricsRegistry::instance().counter(
+                "kernels.gemm.naive.macs");
+        calls.add(1);
+        if (m > 0 && n > 0 && k > 0) {
+            macs.add(static_cast<uint64_t>(m) *
+                     static_cast<uint64_t>(n) *
+                     static_cast<uint64_t>(k));
+        }
+    }
     // ikj loop order: streams B rows, decent cache behaviour without
     // blocking machinery.
     for (int64_t i = 0; i < m; ++i) {
@@ -1308,6 +1373,17 @@ gemmBlasF32(int64_t m, int64_t n, int64_t k, const float *a,
             std::fill(c + i * ldc, c + i * ldc + n, 0.0f);
         }
         return;
+    }
+    if (obs::countersEnabled()) {
+        static obs::Counter &calls =
+            obs::MetricsRegistry::instance().schedCounter(
+                "kernels.gemm.blas.calls");
+        static obs::Counter &macs =
+            obs::MetricsRegistry::instance().counter(
+                "kernels.gemm.blas.macs");
+        calls.add(1);
+        macs.add(static_cast<uint64_t>(m) *
+                 static_cast<uint64_t>(n) * static_cast<uint64_t>(k));
     }
     std::vector<float> ar, br;
     if (fp16_inputs) {

@@ -258,7 +258,9 @@ TEST(FuncCache, KeyDistinguishesFullParameterization)
 
 // Overflow evicts the oldest ready entry; a re-run of the evicted
 // method misses but returns the identical result; Off mode bypasses
-// the cache entirely (no hits, no misses).
+// the cache entirely, and a bypassed cache reports all-zero stats
+// (stale totals from an earlier On phase would misrepresent a cache
+// that is currently serving nothing).
 TEST(FuncCache, EvictionAndOffSwitchBypass)
 {
     CacheGuard guard;
@@ -291,12 +293,23 @@ TEST(FuncCache, EvictionAndOffSwitchBypass)
     EXPECT_EQ(cache.stats().misses, s.misses + 1);
 
     const FunctionalCache::Stats before = cache.stats();
+    EXPECT_GT(before.misses, 0u);
     setFuncCacheMode(FuncCacheMode::Off);
     ev.runFunctional(m1, &pool);
-    const FunctionalCache::Stats after = cache.stats();
-    EXPECT_EQ(after.hits, before.hits);
-    EXPECT_EQ(after.misses, before.misses);
-    EXPECT_EQ(after.entries, before.entries);
+    const FunctionalCache::Stats off_stats = cache.stats();
+    EXPECT_EQ(off_stats.hits, 0u);
+    EXPECT_EQ(off_stats.misses, 0u);
+    EXPECT_EQ(off_stats.evictions, 0u);
+    EXPECT_EQ(off_stats.entries, 0u);
+
+    // The internal totals survive the bypass and resurface on
+    // re-enable, untouched by the Off-mode runFunctional above.
+    setFuncCacheMode(FuncCacheMode::On);
+    const FunctionalCache::Stats restored = cache.stats();
+    EXPECT_EQ(restored.hits, before.hits);
+    EXPECT_EQ(restored.misses, before.misses);
+    EXPECT_EQ(restored.evictions, before.evictions);
+    EXPECT_EQ(restored.entries, before.entries);
 }
 
 // The per-Evaluator dense-trace memo must be invisible: repeated
