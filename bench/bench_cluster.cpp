@@ -40,7 +40,11 @@ main(int argc, char **argv)
     // service is ~27 s): one replica drowns, the sweep's top end
     // drains the queue — the full overload-to-headroom arc.
     const double rate = bo.arrival_rate > 0.0 ? bo.arrival_rate : 0.25;
-    const int num_requests = bo.requests > 0 ? bo.requests : 256;
+    // 1024 requests keep the top of the replica sweep fed: at 64
+    // replicas every replica still sees ~16 requests (256 left the
+    // 32- and 64-replica rows key-starved, each replica batching 4
+    // near-simultaneous arrivals and idling).
+    const int num_requests = bo.requests > 0 ? bo.requests : 1024;
     const int max_replicas = bo.replicas > 0 ? bo.replicas : 64;
 
     QueueConfig queue;
@@ -187,5 +191,52 @@ main(int argc, char **argv)
     std::printf("continuous batching at %d replicas (next batch "
                 "launches at the SEC shrink knee):\n%s\n",
                 shed_fleet, cont.render().c_str());
+
+    // ---- cross-request prefix cache ----
+    // Marker-line convention shared with bench_serving: the CI
+    // digest diffs stdout above the first "prefix-cache" line, so
+    // cache sections may only appear below it.
+    std::printf("prefix-cache: per-replica retained-token caches "
+                "(FOCUS_PREFIX_CACHE=%s)\n\n",
+                prefixCacheModeName(activePrefixCacheMode()));
+    if (activePrefixCacheMode() == PrefixCacheMode::Off) {
+        std::printf("(disabled; budget sweep skipped)\n");
+        return 0;
+    }
+
+    // Budget sweep at the fixed fleet, hashed vs round-robin: the
+    // same fleet-total bytes go much further when affinity routing
+    // keeps each prefix's repeats on one replica's cache.
+    const int64_t slab_bytes =
+        base.comboSlabSpec(base.classCombo(0), "probe").bytes();
+    TextTable cache({"Budget/replica(MB)", "Routing", "HitRate",
+                     "Hits", "Evict", "p95(s)", "SLO"});
+    for (const int slabs : {4, 16, 64}) {
+        for (const RoutingPolicy policy :
+             {RoutingPolicy::HashRing, RoutingPolicy::RoundRobin}) {
+            ClusterConfig cfg;
+            cfg.replicas = fixed_fleet;
+            cfg.routing = policy;
+            cfg.prefix_cache.budget_bytes = slabs * slab_bytes;
+            const ClusterReport rep =
+                ClusterSimulator(base, cfg).run(sched);
+            cache.addRow(
+                {fmtF(static_cast<double>(slabs * slab_bytes) /
+                          (1024.0 * 1024.0), 2),
+                 routingPolicyName(policy),
+                 fmtPct(rep.prefix_cache.hitRate()),
+                 std::to_string(rep.prefix_cache.hits),
+                 std::to_string(rep.prefix_cache.evictions),
+                 fmtF(rep.merged.latency.p95, 1),
+                 fmtPct(rep.merged.slo_attainment)});
+            const std::string tag = "cache_s" + std::to_string(slabs) +
+                "_" + routingPolicyName(policy);
+            rec.metric(tag + "_hit_rate", rep.prefix_cache.hitRate());
+            rec.metric(tag + "_p95_s", rep.merged.latency.p95);
+        }
+    }
+    std::printf("prefix-cache budget sweep at %d replicas (fp16 "
+                "slabs, independent cache per replica):\n%s\n",
+                fixed_fleet, cache.render().c_str());
     return 0;
 }

@@ -64,6 +64,7 @@ main(int argc, char **argv)
             }
         });
 
+    BenchRecorder rec("fig2b", bo);
     TextTable table({"VecSize", "P(<=0.5)", "P(<=0.6)", "P(<=0.7)",
                      "P(<=0.8)", "P(<=0.9)", "P(<=0.95)", "P(>0.9)"});
     for (size_t v = 0; v < vector_sizes.size(); ++v) {
@@ -75,6 +76,9 @@ main(int argc, char **argv)
         }
         row.push_back(fmtF(1.0 - hist.cdfAt(0.9), 3));
         table.addRow(row);
+        rec.metric("vec" + std::to_string(vector_sizes[v]) +
+                       "_frac_above_090",
+                   1.0 - hist.cdfAt(0.9));
     }
     std::printf("%s\n", table.render().c_str());
     std::printf("Expected shape: P(>0.9) decreases monotonically "

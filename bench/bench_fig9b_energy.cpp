@@ -93,5 +93,12 @@ main(int argc, char **argv)
                 g_ours.mean(), g_ada.mean(), g_cmc.mean(),
                 g_ours.mean() / g_ada.mean(),
                 g_ours.mean() / g_cmc.mean());
+
+    BenchRecorder rec("fig9b", bo);
+    rec.metric("geomean_ours_vs_sa", g_ours.mean());
+    rec.metric("geomean_adaptiv_vs_sa", g_ada.mean());
+    rec.metric("geomean_cmc_vs_sa", g_cmc.mean());
+    rec.metric("ours_vs_adaptiv", g_ours.mean() / g_ada.mean());
+    rec.metric("ours_vs_cmc", g_ours.mean() / g_cmc.mean());
     return 0;
 }

@@ -41,9 +41,12 @@ main(int argc, char **argv)
     }
     const std::vector<ExperimentResult> res = grid.run();
 
+    BenchRecorder rec("table3", bo);
+    const char *tags[] = {"sa", "adaptiv", "cmc", "focus"};
     TextTable table({"Architecture", "PE Array", "Buffer(KB)",
                      "DRAM(GB/s)", "Area(mm2)", "OnChipPower(mW)"});
-    for (const ExperimentResult &r : res) {
+    for (size_t i = 0; i < res.size(); ++i) {
+        const ExperimentResult &r = res[i];
         const AccelConfig &accel = r.cell.accel;
         char pe[32];
         std::snprintf(pe, sizeof(pe), "%dx%d", accel.array_rows,
@@ -56,6 +59,10 @@ main(int argc, char **argv)
                            0),
                       fmtF(bw, 0), fmtF(totalArea(accel), 2),
                       fmtF(r.metrics.onChipPowerW() * 1e3, 0)});
+        const std::string tag = tags[i];
+        rec.metric(tag + "_area_mm2", totalArea(accel));
+        rec.metric(tag + "_onchip_power_mw",
+                   r.metrics.onChipPowerW() * 1e3);
     }
     std::printf("%s\n", table.render().c_str());
     std::printf("Paper reference: area 3.12/3.38/3.58/3.21 mm2, "

@@ -1,0 +1,117 @@
+#include "common/arena.h"
+
+#include <algorithm>
+#include <cinttypes>
+
+#include "common/logging.h"
+
+namespace focus
+{
+
+namespace
+{
+
+/** Fresh chunks grow in this granularity (256 KiB). */
+constexpr int64_t kChunkBytes = 256 * 1024;
+
+int64_t
+roundUp(int64_t bytes)
+{
+    return (bytes + SlabArena::kAlign - 1) / SlabArena::kAlign *
+        SlabArena::kAlign;
+}
+
+} // namespace
+
+SlabArena::SlabArena(int64_t capacity_bytes)
+    : capacity_(capacity_bytes)
+{
+    if (capacity_bytes <= 0) {
+        panic("SlabArena: capacity must be positive (got %" PRId64
+              " bytes)", capacity_bytes);
+    }
+}
+
+SlabArena::~SlabArena() = default;
+
+bool
+SlabArena::owns(const void *p) const
+{
+    const unsigned char *b = static_cast<const unsigned char *>(p);
+    for (const Chunk &c : chunks_) {
+        if (b >= c.mem.get() && b < c.mem.get() + c.size) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void *
+SlabArena::alloc(int64_t bytes)
+{
+    if (bytes <= 0) {
+        panic("SlabArena::alloc: non-positive size %" PRId64, bytes);
+    }
+    const int64_t rounded = roundUp(bytes);
+    if (allocated_ + rounded > capacity_) {
+        return nullptr; // over budget: the caller must evict first
+    }
+
+    // Exact-size reuse first: slab sizes repeat per combo, so the
+    // free list almost always has a fit after warm-up.
+    const auto it = free_lists_.find(rounded);
+    if (it != free_lists_.end() && !it->second.empty()) {
+        void *p = it->second.back();
+        it->second.pop_back();
+        allocated_ += rounded;
+        peak_ = std::max(peak_, allocated_);
+        return p;
+    }
+
+    // Bump-allocate from the newest chunk; chain a new chunk (sized
+    // for the request when it exceeds the granularity) on overflow.
+    if (chunks_.empty() ||
+        chunks_.back().used + rounded >
+            chunks_.back().size - chunks_.back().base) {
+        Chunk c;
+        // Over-allocate by one alignment quantum so the base offset
+        // can round the raw pointer up to a 64-byte boundary.
+        c.size = std::max(rounded, kChunkBytes) + kAlign;
+        c.mem = std::make_unique<unsigned char[]>(
+            static_cast<size_t>(c.size));
+        const uintptr_t raw =
+            reinterpret_cast<uintptr_t>(c.mem.get());
+        c.base = static_cast<int64_t>(
+            (kAlign - raw % kAlign) % kAlign);
+        chunks_.push_back(std::move(c));
+    }
+    Chunk &c = chunks_.back();
+    void *p = c.mem.get() + c.base + c.used;
+    c.used += rounded;
+    allocated_ += rounded;
+    peak_ = std::max(peak_, allocated_);
+    return p;
+}
+
+void
+SlabArena::free(void *p, int64_t bytes)
+{
+    if (p == nullptr) {
+        panic("SlabArena::free: null pointer");
+    }
+    if (bytes <= 0) {
+        panic("SlabArena::free: non-positive size %" PRId64, bytes);
+    }
+    if (!owns(p)) {
+        panic("SlabArena::free: pointer %p is not from this arena", p);
+    }
+    const int64_t rounded = roundUp(bytes);
+    if (rounded > allocated_) {
+        panic("SlabArena::free: freeing %" PRId64 " bytes with only "
+              "%" PRId64 " live", rounded, allocated_);
+    }
+    allocated_ -= rounded;
+    free_lists_[rounded].push_back(p);
+}
+
+} // namespace focus

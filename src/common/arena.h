@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Pooled slab arena with a hard byte budget.
+ *
+ * The serving prefix cache (serve/prefix_cache.h) stores compressed
+ * retained-token slabs whose sizes repeat per (model, dataset,
+ * method) combo, so allocation follows the membound/atomPool idiom:
+ * backing memory is carved from large chained chunks by a bump
+ * pointer, and freed slabs go onto an exact-size free list for O(1)
+ * reuse instead of returning to the chunk.  The budget bounds *live*
+ * slab bytes — alloc() fails with nullptr (never throws, never
+ * over-allocates) once the resident total would exceed it, which is
+ * what makes a cache's memory budget real bytes rather than an entry
+ * count.
+ *
+ * Every allocation is 64-byte aligned (one cache line / typical SIMD
+ * width for the fp16 batch converters).  Not thread-safe: the cache
+ * tier mutates it only from the serial replay pre-pass.
+ */
+
+#ifndef FOCUS_COMMON_ARENA_H
+#define FOCUS_COMMON_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace focus
+{
+
+class SlabArena
+{
+  public:
+    /** Arena with a live-byte budget (fatal when non-positive). */
+    explicit SlabArena(int64_t capacity_bytes);
+
+    SlabArena(const SlabArena &) = delete;
+    SlabArena &operator=(const SlabArena &) = delete;
+    ~SlabArena();
+
+    /**
+     * Allocate @p bytes (rounded up to the 64-byte alignment
+     * quantum).  Returns nullptr when the rounded size would push the
+     * live total past the capacity; panics on a non-positive size.
+     */
+    void *alloc(int64_t bytes);
+
+    /**
+     * Return a slab obtained from alloc() to the size-class free
+     * list.  @p bytes must be the original request size; panics on a
+     * null pointer, a non-positive size, or a pointer outside every
+     * chunk of this arena.
+     */
+    void free(void *p, int64_t bytes);
+
+    /** Live-byte budget. */
+    int64_t capacity() const { return capacity_; }
+    /** Currently live (allocated minus freed) bytes, rounded. */
+    int64_t allocated() const { return allocated_; }
+    /** High-water mark of allocated(). */
+    int64_t peak() const { return peak_; }
+    /** Backing chunks reserved so far. */
+    int64_t chunkCount() const
+    {
+        return static_cast<int64_t>(chunks_.size());
+    }
+
+    /** Allocation alignment and size quantum. */
+    static constexpr int64_t kAlign = 64;
+
+  private:
+    struct Chunk
+    {
+        std::unique_ptr<unsigned char[]> mem;
+        int64_t size = 0;
+        int64_t used = 0;
+        /** First 64-byte-aligned offset into mem. */
+        int64_t base = 0;
+    };
+
+    /** True when @p p lies inside one of this arena's chunks. */
+    bool owns(const void *p) const;
+
+    int64_t capacity_ = 0;
+    int64_t allocated_ = 0;
+    int64_t peak_ = 0;
+    std::vector<Chunk> chunks_;
+    /** Rounded size -> reusable slab pointers (atomPool free list). */
+    std::map<int64_t, std::vector<void *>> free_lists_;
+};
+
+} // namespace focus
+
+#endif // FOCUS_COMMON_ARENA_H

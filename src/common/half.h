@@ -1,16 +1,29 @@
 /**
  * @file
- * IEEE-754 binary16 (half precision) emulation.
+ * IEEE-754 binary16 (half precision) and bfloat16 emulation.
  *
  * The functional model of the accelerator operates on FP16 activations
  * with FP32 accumulation, matching the paper's PE configuration
  * ("FP16 Mul FP32 Acc", Tbl. I).  This header provides a storage type
- * with round-to-nearest-even conversions and float-backed arithmetic.
+ * with round-to-nearest-even conversions and float-backed arithmetic,
+ * plus the compressed-slab conversion tier used by the serving
+ * prefix cache (serve/prefix_cache.h):
+ *
+ *  - floatToHalfBits: the readable reference conversion (RNE).
+ *  - floatToHalfBitsFast: a branch-light integer-only conversion,
+ *    bit-exact to the reference for every input including NaN payload
+ *    and subnormal rounding (tests/test_half_arena.cc proves it
+ *    exhaustively over all binary16 patterns and the boundary bands).
+ *  - floatToBf16Bits / bf16BitsToFloat: bfloat16 with RNE and quiet
+ *    NaN handling.
+ *  - floatToHalfN / halfToFloatN / floatToBf16N / bf16ToFloatN: batch
+ *    converters over contiguous spans (the slab compression path).
  */
 
 #ifndef FOCUS_COMMON_HALF_H
 #define FOCUS_COMMON_HALF_H
 
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <limits>
@@ -186,6 +199,127 @@ inline float
 fp16Round(float f)
 {
     return halfBitsToFloat(floatToHalfBits(f));
+}
+
+/**
+ * Fast float -> binary16 conversion (round-to-nearest-even).
+ *
+ * Pure integer pipeline with the float's magnitude classified once
+ * against three thresholds; the normal-range path folds exponent
+ * re-bias and RNE rounding (carry into the exponent included) into a
+ * single add-and-shift, the F16C-style hot path.  Bit-exact to
+ * floatToHalfBits on every input: same overflow saturation, same
+ * subnormal rounding, same NaN quieting and payload truncation.
+ */
+inline uint16_t
+floatToHalfBitsFast(float value)
+{
+    const uint32_t bits = detail::floatBits(value);
+    const uint32_t sign = (bits >> 16) & 0x8000u;
+    const uint32_t abs = bits & 0x7fffffffu;
+
+    uint32_t out;
+    if (abs >= 0x7f800000u) {
+        // Inf stays inf; NaN keeps its truncated payload plus the
+        // quiet bit (0x0200), matching the reference exactly.
+        out = abs > 0x7f800000u
+            ? (0x7e00u | ((abs & 0x7fffffu) >> 13))
+            : 0x7c00u;
+    } else if (abs >= 0x47800000u) {
+        // Magnitude at or above 2^16: saturate to infinity.
+        out = 0x7c00u;
+    } else if (abs >= 0x38800000u) {
+        // Normal half: subtract the bias difference (112 << 23) so a
+        // plain shift yields exponent|mantissa, then add the RNE
+        // increment — 0xfff plus the kept lsb — before shifting; a
+        // mantissa carry rolls into the exponent (and, right at the
+        // top of the range, into the correct saturation to inf).
+        const uint32_t v = abs - 0x38000000u;
+        out = (v + 0xfffu + ((v >> 13) & 1u)) >> 13;
+    } else if (abs >= 0x33000000u) {
+        // Subnormal half: shift the implicit-1 mantissa into the
+        // subnormal position, rounding the remainder to nearest even.
+        const uint32_t shift = 126u - (abs >> 23);
+        const uint32_t mant = (abs & 0x7fffffu) | 0x800000u;
+        const uint32_t sub = mant >> shift;
+        const uint32_t rem = mant & ((1u << shift) - 1u);
+        const uint32_t half_bit = 1u << (shift - 1u);
+        out = sub +
+            ((rem > half_bit || (rem == half_bit && (sub & 1u)))
+                 ? 1u
+                 : 0u);
+    } else {
+        // Below half the smallest subnormal: flush to signed zero.
+        out = 0;
+    }
+    return static_cast<uint16_t>(sign | out);
+}
+
+/**
+ * Convert a float to bfloat16 bits with round-to-nearest-even.
+ * Overflow saturates to infinity; NaN keeps its truncated payload
+ * with the quiet bit forced (a payload living entirely in the low 16
+ * float bits would otherwise truncate to infinity).
+ */
+inline uint16_t
+floatToBf16Bits(float value)
+{
+    const uint32_t bits = detail::floatBits(value);
+    if ((bits & 0x7fffffffu) > 0x7f800000u) {
+        return static_cast<uint16_t>((bits >> 16) | 0x0040u);
+    }
+    const uint32_t lsb = (bits >> 16) & 1u;
+    return static_cast<uint16_t>((bits + 0x7fffu + lsb) >> 16);
+}
+
+/** Convert bfloat16 bits to float (exact: low mantissa zero-fill). */
+inline float
+bf16BitsToFloat(uint16_t b)
+{
+    return detail::bitsFloat(static_cast<uint32_t>(b) << 16);
+}
+
+/** Round-trip a float through bfloat16 precision. */
+inline float
+bf16Round(float f)
+{
+    return bf16BitsToFloat(floatToBf16Bits(f));
+}
+
+// ---- batch conversion (slab compression path) ----
+// Contiguous spans through the fast scalar kernels; n == 0 is a
+// no-op, so callers need no empty-span guards.
+
+inline void
+floatToHalfN(const float *src, uint16_t *dst, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        dst[i] = floatToHalfBitsFast(src[i]);
+    }
+}
+
+inline void
+halfToFloatN(const uint16_t *src, float *dst, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        dst[i] = halfBitsToFloat(src[i]);
+    }
+}
+
+inline void
+floatToBf16N(const float *src, uint16_t *dst, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        dst[i] = floatToBf16Bits(src[i]);
+    }
+}
+
+inline void
+bf16ToFloatN(const uint16_t *src, float *dst, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        dst[i] = bf16BitsToFloat(src[i]);
+    }
 }
 
 } // namespace focus

@@ -227,6 +227,14 @@ Evaluator::buildFullTrace(const MethodConfig &method,
     return buildTrace(mp_, dp_, method, eval.agg);
 }
 
+WorkloadTrace
+Evaluator::buildPrefixCachedTrace(const MethodConfig &method,
+                                  const MethodEval &eval) const
+{
+    obs::TraceSpan span("eval.trace.prefix_cached");
+    return applyPrefixCache(buildTrace(mp_, dp_, method, eval.agg));
+}
+
 RunMetrics
 Evaluator::simulate(const MethodConfig &method, const AccelConfig &accel,
                     MethodEval *out_eval) const

@@ -72,6 +72,18 @@ class Evaluator
     WorkloadTrace buildFullTrace(const MethodConfig &method,
                                  const MethodEval &eval) const;
 
+    /**
+     * Build the prefix-cache-*hit* variant of the full-scale trace:
+     * the retained visual rows are restored from the serving prefix
+     * cache (serve/prefix_cache.h) instead of recomputed, so only the
+     * text rows flow through the backbone while the cached rows serve
+     * as attention context (sim/trace.h applyPrefixCache).  This is
+     * the serve -> cache -> eval seam: the serving simulator costs a
+     * hit with this trace and a miss with buildFullTrace's.
+     */
+    WorkloadTrace buildPrefixCachedTrace(const MethodConfig &method,
+                                         const MethodEval &eval) const;
+
     /** Functional + trace + accelerator simulation in one step. */
     RunMetrics simulate(const MethodConfig &method,
                         const AccelConfig &accel,

@@ -188,7 +188,11 @@ std::string
 ClusterSimulator::routingKey(const ServeRequest &req,
                              const RequestClass &cls)
 {
-    return cls.label() + "#" + std::to_string(req.prefix_id);
+    // One key definition serves both tiers: the ring routes on it and
+    // every replica's prefix cache stores under it, so hash affinity
+    // concentrates a prefix's repeats onto the replica that holds its
+    // slab by construction.
+    return prefixKey(req, cls);
 }
 
 const ClusterSimulator::ShardCost &
@@ -207,8 +211,8 @@ ClusterSimulator::costSharded(const std::vector<size_t> &comp)
 
     std::vector<const WorkloadTrace *> parts;
     parts.reserve(comp.size());
-    for (const size_t combo : comp) {
-        parts.push_back(&base_.comboTrace(combo));
+    for (const size_t code : comp) {
+        parts.push_back(&base_.codeTrace(code));
     }
 
     std::vector<uint64_t> layer_cycles;
@@ -336,21 +340,61 @@ ClusterSimulator::replayAdvanced(
     const std::vector<ServeRequest> &sub,
     std::vector<RequestOutcome> &outcomes,
     std::vector<BatchRecord> &batches,
-    uint64_t &interconnect_bytes)
+    uint64_t &interconnect_bytes, PrefixCache *cache)
 {
     const size_t n = sub.size();
+    const bool caching = cache != nullptr && cache->enabled();
+    const QueueConfig &queue = base_.queueConfig();
     outcomes.assign(n, RequestOutcome{});
     batches.clear();
     const std::vector<BatchKey> keys = base_.batchKeys(sub);
+    std::vector<size_t> req_combo(n);
+    std::vector<size_t> req_code(n);
     for (size_t i = 0; i < n; ++i) {
         outcomes[i].arrival_s = sub[i].arrival_s;
+        req_combo[i] = base_.classCombo(sub[i].class_id);
+        req_code[i] = ServingSimulator::comboCode(req_combo[i], false);
     }
+
+    // Cache resolution for one batch, in execution order: lookups
+    // first (same-key members of one batch share the miss), then one
+    // admit per distinct missed key — the exact protocol of the base
+    // replay, so a trivial split reproduces its hit stream.
+    const auto resolveCache = [&](const std::vector<size_t> &members) {
+        if (!caching) {
+            return;
+        }
+        std::vector<size_t> missed;
+        for (const size_t i : members) {
+            const RequestClass &cls =
+                queue.mix[static_cast<size_t>(sub[i].class_id)];
+            if (cache->lookup(prefixKey(sub[i], cls))) {
+                outcomes[i].prefix_hit = true;
+                req_code[i] =
+                    ServingSimulator::comboCode(req_combo[i], true);
+            } else {
+                missed.push_back(i);
+            }
+        }
+        std::vector<std::string> admitted;
+        for (const size_t i : missed) {
+            const RequestClass &cls =
+                queue.mix[static_cast<size_t>(sub[i].class_id)];
+            const std::string key = prefixKey(sub[i], cls);
+            if (std::find(admitted.begin(), admitted.end(), key) ==
+                admitted.end()) {
+                admitted.push_back(key);
+                cache->admit(key,
+                             base_.comboSlabSpec(req_combo[i], key));
+            }
+        }
+    };
 
     const auto compOf = [&](const std::vector<size_t> &members) {
         std::vector<size_t> comp;
         comp.reserve(members.size());
         for (const size_t i : members) {
-            comp.push_back(base_.classCombo(sub[i].class_id));
+            comp.push_back(req_code[i]);
         }
         return comp;
     };
@@ -362,6 +406,7 @@ ClusterSimulator::replayAdvanced(
             scheduler.planOpenLoop(sub, keys);
         double free_t = 0.0;
         for (const PlannedBatch &plan : plans) {
+            resolveCache(plan.members);
             const ShardCost &sc = costSharded(compOf(plan.members));
             const double start = std::max(free_t, plan.ready_s);
             free_t = recordClusterBatch(
@@ -391,6 +436,7 @@ ClusterSimulator::replayAdvanced(
         obs::TraceSpan step_span("cluster.continuous.step");
         const std::vector<size_t> picked =
             scheduler.pickPending(pending, keys);
+        resolveCache(picked);
         const ShardCost &sc = costSharded(compOf(picked));
 
         double carry = 0.0;
@@ -426,6 +472,10 @@ ClusterSimulator::run(const SchedulerConfig &sched, ThreadPool *pool)
               "and stay a single-box (ServingSimulator) question");
     }
     base_.calibrate(pool);
+    const bool caching = cfg_.prefix_cache.enabled();
+    if (caching) {
+        base_.ensureHitTraces(pool);
+    }
     const BatchScheduler scheduler(sched);
     const std::vector<ServeRequest> stream =
         RequestQueue(queue).generate();
@@ -460,7 +510,9 @@ ClusterSimulator::run(const SchedulerConfig &sched, ThreadPool *pool)
         est.reserve(queue.mix.size());
         for (size_t cls = 0; cls < queue.mix.size(); ++cls) {
             est.push_back(
-                costSharded({base_.classCombo(static_cast<int>(cls))})
+                costSharded({ServingSimulator::comboCode(
+                                base_.classCombo(static_cast<int>(cls)),
+                                false)})
                     .service_s);
         }
     }
@@ -523,17 +575,35 @@ ClusterSimulator::run(const SchedulerConfig &sched, ThreadPool *pool)
                 .add(static_cast<uint64_t>(rs.shed));
         }
         obs::TraceSpan replay_span("cluster.replica.replay");
+        // One independent cache per replica: affinity (or its
+        // absence) shows up directly in each replica's hit rate.
+        PrefixCache cache(cfg_.prefix_cache);
         std::vector<RequestOutcome> sub_out;
         std::vector<BatchRecord> sub_batches;
         if (!sub.empty()) {
             if (simple) {
                 base_.replayOpenLoop(scheduler, sub, pool, sub_out,
-                                     sub_batches);
+                                     sub_batches, &cache);
             } else {
                 replayAdvanced(scheduler, sub, sub_out, sub_batches,
-                               rs.interconnect_bytes);
+                               rs.interconnect_bytes, &cache);
             }
         }
+        const PrefixCacheStats cs = cache.stats();
+        rs.prefix_hits = cs.hits;
+        rs.prefix_misses = cs.misses;
+        rep.prefix_cache.lookups += cs.lookups;
+        rep.prefix_cache.hits += cs.hits;
+        rep.prefix_cache.misses += cs.misses;
+        rep.prefix_cache.admissions += cs.admissions;
+        rep.prefix_cache.evictions += cs.evictions;
+        rep.prefix_cache.rejected += cs.rejected;
+        rep.prefix_cache.bytes_resident += cs.bytes_resident;
+        rep.prefix_cache.bytes_peak += cs.bytes_peak;
+        rep.prefix_cache.full_bytes_resident +=
+            cs.full_bytes_resident;
+        rep.prefix_cache.err_sum += cs.err_sum;
+        rep.prefix_cache.err_slabs += cs.err_slabs;
         for (BatchRecord &b : sub_batches) {
             b.replica = r;
             rs.busy_s += b.service_s;
@@ -600,6 +670,10 @@ ClusterSimulator::run(const SchedulerConfig &sched, ThreadPool *pool)
 
     rep.merged = base_.assemble(sched, stream, std::move(outcomes),
                                 std::move(merged));
+    // Mirror the fleet aggregate into the merged report so a cluster
+    // of one replica reproduces ServingSimulator::run field for
+    // field (assemble itself leaves the field zeroed).
+    rep.merged.prefix_cache = rep.prefix_cache;
 
     // ---- fleet stats ----
     int max_routed = 0;

@@ -131,6 +131,16 @@ struct ClusterConfig
      * (<= 0 keeps serial batch boundaries; must be < 1).
      */
     double continuous_theta = 0.0;
+
+    /**
+     * Per-replica prefix-cache sizing (serve/prefix_cache.h); the
+     * default zero budget disables caching.  Each replica owns an
+     * independent cache, which is exactly what makes routing policy
+     * matter: hash-affinity routing concentrates a prefix's repeats
+     * onto one replica's cache, while round-robin scatters them
+     * across all caches and forfeits most hits.
+     */
+    PrefixCacheConfig prefix_cache;
 };
 
 /** Per-replica execution summary. */
@@ -143,6 +153,9 @@ struct ReplicaStats
     double busy_s = 0.0;     ///< sum of batch service times
     double makespan_s = 0.0; ///< last finish on this replica
     uint64_t interconnect_bytes = 0;
+    /** This replica's prefix-cache activity (zero when disabled). */
+    int64_t prefix_hits = 0;
+    int64_t prefix_misses = 0;
 };
 
 /** Cluster replay result. */
@@ -158,6 +171,13 @@ struct ClusterReport
     /** Max over replicas of routed count / mean routed count. */
     double load_imbalance = 0.0;
     uint64_t interconnect_bytes = 0;
+    /**
+     * Fleet-aggregate prefix-cache activity (summed over the
+     * replicas' independent caches; also mirrored into
+     * merged.prefix_cache so a cluster of one replica reproduces the
+     * single-box report field for field).
+     */
+    PrefixCacheStats prefix_cache;
 };
 
 /**
@@ -200,13 +220,18 @@ class ClusterSimulator
 
     /**
      * Replica replay when any advanced knob is on (tp/dp splits or
-     * continuous batching); outcomes positional in @p sub.
+     * continuous batching); outcomes positional in @p sub.  A
+     * non-null enabled @p cache resolves prefix keys the same way the
+     * base replay does: serially in execution order (per planned
+     * batch on the serial path, at pick time under continuous
+     * batching), with hits swapping in the combo's hit-trace code.
      */
     void replayAdvanced(const BatchScheduler &scheduler,
                         const std::vector<ServeRequest> &sub,
                         std::vector<RequestOutcome> &outcomes,
                         std::vector<BatchRecord> &batches,
-                        uint64_t &interconnect_bytes);
+                        uint64_t &interconnect_bytes,
+                        PrefixCache *cache);
 
     ServingSimulator &base_;
     ClusterConfig cfg_;

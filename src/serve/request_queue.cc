@@ -1,5 +1,6 @@
 #include "serve/request_queue.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
@@ -47,6 +48,10 @@ RequestQueue::RequestQueue(const QueueConfig &cfg) : cfg_(cfg)
         }
         if (c.prefix_cardinality <= 0) {
             fatal("RequestQueue: non-positive prefix cardinality for "
+                  "class '%s'", c.label().c_str());
+        }
+        if (c.prefix_zipf < 0.0) {
+            fatal("RequestQueue: negative prefix Zipf exponent for "
                   "class '%s'", c.label().c_str());
         }
         total_weight += c.weight;
@@ -100,6 +105,37 @@ drawClass(Rng &rng, const std::vector<RequestClass> &mix,
     return static_cast<int>(mix.size()) - 1;
 }
 
+/**
+ * Zipf(s) cumulative weights over ranks 0..n-1: rank r has mass
+ * proportional to (r+1)^-s.  Built once per class per generate()
+ * call; a single uniform draw binary-searches the table.
+ */
+std::vector<double>
+zipfCdf(int n, double s)
+{
+    std::vector<double> cdf(static_cast<size_t>(n));
+    double total = 0.0;
+    for (int r = 0; r < n; ++r) {
+        total += std::pow(static_cast<double>(r + 1), -s);
+        cdf[static_cast<size_t>(r)] = total;
+    }
+    for (double &c : cdf) {
+        c /= total;
+    }
+    return cdf;
+}
+
+int64_t
+drawZipf(Rng &rng, const std::vector<double> &cdf)
+{
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    const auto idx = it == cdf.end() ? cdf.size() - 1
+                                     : static_cast<size_t>(
+                                           it - cdf.begin());
+    return static_cast<int64_t>(idx);
+}
+
 } // namespace
 
 std::vector<ServeRequest>
@@ -114,6 +150,9 @@ RequestQueue::generate() const
     for (const RequestClass &c : cfg_.mix) {
         total_weight += c.weight;
     }
+    // Per-class Zipf tables, built lazily (zipf == 0 classes keep the
+    // historical uniformInt path and its exact RNG consumption).
+    std::vector<std::vector<double>> zipf_cdfs(cfg_.mix.size());
 
     std::vector<ServeRequest> stream;
     stream.reserve(static_cast<size_t>(cfg_.num_requests));
@@ -126,8 +165,18 @@ RequestQueue::generate() const
         const RequestClass &cls =
             cfg_.mix[static_cast<size_t>(r.class_id)];
         r.slo_latency_s = cls.slo_latency_s;
-        r.prefix_id = static_cast<int64_t>(prefix_rng.uniformInt(
-            static_cast<uint64_t>(cls.prefix_cardinality)));
+        if (cls.prefix_zipf > 0.0) {
+            std::vector<double> &cdf =
+                zipf_cdfs[static_cast<size_t>(r.class_id)];
+            if (cdf.empty()) {
+                cdf = zipfCdf(cls.prefix_cardinality,
+                              cls.prefix_zipf);
+            }
+            r.prefix_id = drawZipf(prefix_rng, cdf);
+        } else {
+            r.prefix_id = static_cast<int64_t>(prefix_rng.uniformInt(
+                static_cast<uint64_t>(cls.prefix_cardinality)));
+        }
         if (cfg_.process == ArrivalProcess::OpenPoisson) {
             clock += exponential(rng, 1.0 / cfg_.arrival_rate_rps);
             r.arrival_s = clock;
@@ -140,9 +189,24 @@ RequestQueue::generate() const
     return stream;
 }
 
+std::string
+prefixKey(const ServeRequest &req, const RequestClass &cls)
+{
+    return cls.label() + "#" + std::to_string(req.prefix_id);
+}
+
 std::vector<RequestClass>
 standardServingMix()
 {
+    // All classes share the prefix popularity shape: 256 distinct
+    // identities under a Zipf(0.9) skew, i.e. a few hot videos carry
+    // most of the traffic (the hottest identity alone draws ~12% of a
+    // class's requests).  This is what makes single-replica cache hit
+    // rates — and the hashed-vs-round-robin routing gap — visible at
+    // bench request counts.
+    constexpr int kPrefixCardinality = 256;
+    constexpr double kPrefixZipf = 0.9;
+
     std::vector<RequestClass> mix;
 
     RequestClass focus_vid;
@@ -151,6 +215,8 @@ standardServingMix()
     focus_vid.method = MethodConfig::focusFull();
     focus_vid.weight = 3.0;
     focus_vid.slo_latency_s = 120.0;
+    focus_vid.prefix_cardinality = kPrefixCardinality;
+    focus_vid.prefix_zipf = kPrefixZipf;
     mix.push_back(focus_vid);
 
     RequestClass dense_vid;
@@ -159,6 +225,8 @@ standardServingMix()
     dense_vid.method = MethodConfig::dense();
     dense_vid.weight = 1.0;
     dense_vid.slo_latency_s = 480.0;
+    dense_vid.prefix_cardinality = kPrefixCardinality;
+    dense_vid.prefix_zipf = kPrefixZipf;
     mix.push_back(dense_vid);
 
     RequestClass focus_short;
@@ -167,6 +235,8 @@ standardServingMix()
     focus_short.method = MethodConfig::focusFull();
     focus_short.weight = 2.0;
     focus_short.slo_latency_s = 90.0;
+    focus_short.prefix_cardinality = kPrefixCardinality;
+    focus_short.prefix_zipf = kPrefixZipf;
     mix.push_back(focus_short);
 
     RequestClass focus_long;
@@ -175,6 +245,8 @@ standardServingMix()
     focus_long.method = MethodConfig::focusFull();
     focus_long.weight = 2.0;
     focus_long.slo_latency_s = 240.0;
+    focus_long.prefix_cardinality = kPrefixCardinality;
+    focus_long.prefix_zipf = kPrefixZipf;
     mix.push_back(focus_long);
 
     return mix;

@@ -53,12 +53,22 @@ struct RequestClass
     double slo_latency_s = 120.0;
     /**
      * Distinct prefix identities (shared videos / system prompts)
-     * this class draws from; each request carries one, and the
-     * cluster router keys its consistent-hash ring on
-     * class label + prefix so same-prefix requests land on the same
-     * replica (free cache affinity for the upcoming KV-cache tier).
+     * this class draws from; each request carries one.  The cluster
+     * router keys its consistent-hash ring on class label + prefix so
+     * same-prefix requests land on the same replica, and the prefix
+     * cache (serve/prefix_cache.h) keys its slabs the same way —
+     * routing affinity is what concentrates repeats into hits.
      */
     int prefix_cardinality = 64;
+    /**
+     * Zipf exponent of the prefix popularity distribution: identity
+     * rank r (0-based) is drawn with probability proportional to
+     * (r+1)^-prefix_zipf.  0 (the default) keeps the historical
+     * uniform draw bit-identically — real prefix traffic is heavily
+     * skewed (a few hot videos dominate), which is what makes a
+     * bounded-budget cache effective at all.
+     */
+    double prefix_zipf = 0.0;
 
     /** "model/dataset/method" display label. */
     std::string label() const;
@@ -121,6 +131,14 @@ class RequestQueue
   private:
     QueueConfig cfg_;
 };
+
+/**
+ * Canonical cache/affinity key of one request: class label + "#" +
+ * prefix identity.  The cluster router hashes it onto the replica
+ * ring and every replica's prefix cache keys its slabs with it, so
+ * one definition keeps the two tiers aligned by construction.
+ */
+std::string prefixKey(const ServeRequest &req, const RequestClass &cls);
 
 /**
  * Mixed-profile roster used by bench_serving and the serving demo:

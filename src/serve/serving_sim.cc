@@ -108,6 +108,26 @@ ServingSimulator::calibrate(ThreadPool *pool)
     calibrated_ = true;
 }
 
+void
+ServingSimulator::ensureHitTraces(ThreadPool *pool)
+{
+    calibrate(pool);
+    if (hit_traces_ready_) {
+        return;
+    }
+    obs::TraceSpan span("serve.hit_traces");
+    ThreadPool &p = pool ? *pool : ThreadPool::global();
+    p.parallelFor(
+        static_cast<int64_t>(combos_.size()), [&](int64_t i) {
+            Combo &c = combos_[static_cast<size_t>(i)];
+            const Evaluator &ev =
+                *evaluators_.at(std::make_pair(c.model, c.dataset));
+            c.hit_trace = ev.buildPrefixCachedTrace(c.method, c.eval);
+            c.hit_solo = simulateAccelerator(accel_, c.hit_trace);
+        });
+    hit_traces_ready_ = true;
+}
+
 const RunMetrics &
 ServingSimulator::classSolo(int class_id)
 {
@@ -118,6 +138,19 @@ ServingSimulator::classSolo(int class_id)
               class_id);
     }
     return combos_[class_combo_[static_cast<size_t>(class_id)]].solo;
+}
+
+const RunMetrics &
+ServingSimulator::classHitSolo(int class_id)
+{
+    ensureHitTraces(nullptr);
+    if (class_id < 0 ||
+        static_cast<size_t>(class_id) >= class_combo_.size()) {
+        panic("ServingSimulator::classHitSolo: class %d out of range",
+              class_id);
+    }
+    return combos_[class_combo_[static_cast<size_t>(class_id)]]
+        .hit_solo;
 }
 
 size_t
@@ -142,6 +175,50 @@ ServingSimulator::comboTrace(size_t combo) const
     return combos_[combo].trace;
 }
 
+const WorkloadTrace &
+ServingSimulator::codeTrace(size_t code) const
+{
+    const size_t combo = code >> 1;
+    if (combo >= combos_.size()) {
+        panic("ServingSimulator::codeTrace: code %zu out of range",
+              code);
+    }
+    if ((code & 1) != 0) {
+        if (!hit_traces_ready_) {
+            panic("ServingSimulator::codeTrace: hit trace requested "
+                  "before ensureHitTraces");
+        }
+        return combos_[combo].hit_trace;
+    }
+    return combos_[combo].trace;
+}
+
+SlabSpec
+ServingSimulator::comboSlabSpec(size_t combo,
+                                const std::string &key) const
+{
+    if (combo >= combos_.size()) {
+        panic("ServingSimulator::comboSlabSpec: combo %zu out of "
+              "range", combo);
+    }
+    const WorkloadTrace &tr = combos_[combo].trace;
+    int64_t visual = 0;
+    for (const LayerEvents &l : tr.layers) {
+        visual += l.visual_in;
+    }
+    // The stored payload is a fixed 1/4096 reduced-scale mirror of
+    // the full retained K/V set: rows shrink 64x and the 2*hidden
+    // K+V columns shrink 64x (to 16-bit values), while full_bytes
+    // records the paper-scale fp16 K+V footprint the slab stands in
+    // for (visual rows x hidden x 2 tensors x 2 bytes).
+    SlabSpec spec;
+    spec.rows = (visual + 63) / 64;
+    spec.cols = 2 * ((tr.hidden + 63) / 64);
+    spec.full_bytes = visual * tr.hidden * 4;
+    spec.seed = prefixKeyHash(key);
+    return spec;
+}
+
 std::vector<BatchKey>
 ServingSimulator::batchKeys(const std::vector<ServeRequest> &stream)
 {
@@ -164,8 +241,8 @@ ServingSimulator::costComposition(const std::vector<size_t> &comp)
     }
     std::vector<const WorkloadTrace *> parts;
     parts.reserve(comp.size());
-    for (const size_t combo : comp) {
-        parts.push_back(&combos_[combo].trace);
+    for (const size_t code : comp) {
+        parts.push_back(&codeTrace(code));
     }
     RunMetrics m = simulateAccelerator(accel_, fuseTraces(parts));
     return batch_cache_.emplace(comp, std::move(m)).first->second;
@@ -228,9 +305,13 @@ ServingSimulator::replayOpenLoop(
     const BatchScheduler &scheduler,
     const std::vector<ServeRequest> &stream, ThreadPool *pool,
     std::vector<RequestOutcome> &outcomes,
-    std::vector<BatchRecord> &batches)
+    std::vector<BatchRecord> &batches, PrefixCache *cache)
 {
     calibrate(pool);
+    const bool caching = cache != nullptr && cache->enabled();
+    if (caching) {
+        ensureHitTraces(pool);
+    }
     obs::TraceSpan span("serve.replay");
     const size_t n = stream.size();
     outcomes.assign(n, RequestOutcome{});
@@ -247,8 +328,49 @@ ServingSimulator::replayOpenLoop(
         outcomes[i].arrival_s = stream[i].arrival_s;
     }
 
+    // Plans key on the *base* trace even when caching: batch
+    // membership must not depend on cache state, so an enabled cache
+    // changes what a batch costs but never which batches form.
     const std::vector<PlannedBatch> plans =
         scheduler.planOpenLoop(stream, keys);
+
+    // Serial cache pre-pass in execution order: resolve each batch's
+    // members against the cache (all lookups first, so same-key
+    // members of one batch share the miss), then admit each distinct
+    // missed key once in first-occurrence order.  Serial by design —
+    // the hit/miss stream (and the obs work counters behind it) must
+    // be identical at every thread count.
+    std::vector<size_t> req_code(n);
+    for (size_t i = 0; i < n; ++i) {
+        req_code[i] = comboCode(req_combo[i], false);
+    }
+    if (caching) {
+        for (const PlannedBatch &plan : plans) {
+            std::vector<size_t> missed;
+            for (const size_t i : plan.members) {
+                const RequestClass &cls = queue_.mix[static_cast<
+                    size_t>(stream[i].class_id)];
+                if (cache->lookup(prefixKey(stream[i], cls))) {
+                    outcomes[i].prefix_hit = true;
+                    req_code[i] = comboCode(req_combo[i], true);
+                } else {
+                    missed.push_back(i);
+                }
+            }
+            std::vector<std::string> admitted;
+            for (const size_t i : missed) {
+                const RequestClass &cls = queue_.mix[static_cast<
+                    size_t>(stream[i].class_id)];
+                const std::string key = prefixKey(stream[i], cls);
+                if (std::find(admitted.begin(), admitted.end(),
+                              key) == admitted.end()) {
+                    admitted.push_back(key);
+                    cache->admit(key,
+                                 comboSlabSpec(req_combo[i], key));
+                }
+            }
+        }
+    }
 
     // Fuse + simulate every distinct composition across the
     // pool; the timeline pass below then only reads the cache.
@@ -256,7 +378,7 @@ ServingSimulator::replayOpenLoop(
     std::vector<std::vector<size_t>> todo;
     for (size_t b = 0; b < plans.size(); ++b) {
         for (const size_t i : plans[b].members) {
-            comps[b].push_back(req_combo[i]);
+            comps[b].push_back(req_code[i]);
         }
         if (batch_cache_.find(comps[b]) == batch_cache_.end() &&
             std::find(todo.begin(), todo.end(), comps[b]) ==
@@ -272,8 +394,8 @@ ServingSimulator::replayOpenLoop(
                 todo[static_cast<size_t>(t)];
             std::vector<const WorkloadTrace *> parts;
             parts.reserve(comp.size());
-            for (const size_t combo : comp) {
-                parts.push_back(&combos_[combo].trace);
+            for (const size_t code : comp) {
+                parts.push_back(&codeTrace(code));
             }
             slots[static_cast<size_t>(t)] =
                 simulateAccelerator(accel_, fuseTraces(parts));
@@ -297,6 +419,13 @@ ServingSimulator::run(const SchedulerConfig &sched, ThreadPool *pool)
 {
     obs::TraceSpan span("serve.run");
     calibrate(pool);
+    // Fresh cache per replay: runs never see each other's residency,
+    // so budget sweeps on one simulator stay order-independent.
+    PrefixCache cache(pcache_);
+    const bool caching = cache.enabled();
+    if (caching) {
+        ensureHitTraces(pool);
+    }
     const BatchScheduler scheduler(sched);
     const std::vector<ServeRequest> stream =
         RequestQueue(queue_).generate();
@@ -306,7 +435,8 @@ ServingSimulator::run(const SchedulerConfig &sched, ThreadPool *pool)
     std::vector<BatchRecord> batches;
 
     if (queue_.process == ArrivalProcess::OpenPoisson) {
-        replayOpenLoop(scheduler, stream, pool, outcomes, batches);
+        replayOpenLoop(scheduler, stream, pool, outcomes, batches,
+                       &cache);
     } else {
         std::vector<size_t> req_combo(n);
         std::vector<BatchKey> keys(n);
@@ -356,10 +486,36 @@ ServingSimulator::run(const SchedulerConfig &sched, ThreadPool *pool)
 
             const std::vector<size_t> picked =
                 scheduler.pickPending(pending, keys);
+            // Closed loop is already a serial event loop, so the
+            // cache resolves at pick time: lookups for the whole
+            // batch first, then one admit per distinct missed key.
             std::vector<size_t> comp;
             comp.reserve(picked.size());
+            std::vector<size_t> missed;
             for (const size_t i : picked) {
-                comp.push_back(req_combo[i]);
+                bool hit = false;
+                if (caching) {
+                    const RequestClass &cls = queue_.mix[static_cast<
+                        size_t>(stream[i].class_id)];
+                    hit = cache.lookup(prefixKey(stream[i], cls));
+                    if (hit) {
+                        outcomes[i].prefix_hit = true;
+                    } else {
+                        missed.push_back(i);
+                    }
+                }
+                comp.push_back(comboCode(req_combo[i], hit));
+            }
+            std::vector<std::string> admitted;
+            for (const size_t i : missed) {
+                const RequestClass &cls = queue_.mix[static_cast<
+                    size_t>(stream[i].class_id)];
+                const std::string key = prefixKey(stream[i], cls);
+                if (std::find(admitted.begin(), admitted.end(),
+                              key) == admitted.end()) {
+                    admitted.push_back(key);
+                    cache.admit(key, comboSlabSpec(req_combo[i], key));
+                }
             }
             const RunMetrics &m = costComposition(comp);
             for (const size_t i : picked) {
@@ -383,8 +539,10 @@ ServingSimulator::run(const SchedulerConfig &sched, ThreadPool *pool)
         }
     }
 
-    return assemble(sched, stream, std::move(outcomes),
-                    std::move(batches));
+    ServingReport rep = assemble(sched, stream, std::move(outcomes),
+                                 std::move(batches));
+    rep.prefix_cache = cache.stats();
+    return rep;
 }
 
 ServingReport
@@ -483,6 +641,9 @@ ServingSimulator::assemble(const SchedulerConfig &sched,
             if (o.shed) {
                 co.shed += 1;
                 continue;
+            }
+            if (o.prefix_hit) {
+                co.prefix_hits += 1;
             }
             cls_done += 1;
             cls_lat += o.latency_s();

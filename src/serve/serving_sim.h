@@ -39,6 +39,7 @@
 
 #include "eval/evaluator.h"
 #include "serve/batch_scheduler.h"
+#include "serve/prefix_cache.h"
 #include "serve/request_queue.h"
 
 namespace focus
@@ -61,6 +62,12 @@ struct RequestOutcome
      * distribution and counted as an SLO miss.
      */
     bool shed = false;
+    /**
+     * Served with the prefix-cached trace: the retained visual rows
+     * came from the cross-request cache (serve/prefix_cache.h), so
+     * this request contributed only its text rows to its batch.
+     */
+    bool prefix_hit = false;
 
     double latency_s() const { return finish_s - arrival_s; }
     double queue_s() const { return start_s - arrival_s; }
@@ -89,6 +96,8 @@ struct ClassOutcome
     double slo_attainment = 0.0;
     /** Batch-of-1 service time of this class (reference). */
     double solo_latency_s = 0.0;
+    /** Requests of this class served from the prefix cache. */
+    int prefix_hits = 0;
 
     double accuracyDelta() const { return accuracy - dense_accuracy; }
 };
@@ -123,6 +132,11 @@ struct ServingReport
      */
     double slo_attainment = 0.0;
     int shed = 0;
+    /**
+     * Activity of the run's prefix cache (all-zero when disabled —
+     * FOCUS_PREFIX_CACHE=off or a zero budget).
+     */
+    PrefixCacheStats prefix_cache;
 };
 
 class ServingSimulator
@@ -141,8 +155,29 @@ class ServingSimulator
     ServingReport run(const SchedulerConfig &sched,
                       ThreadPool *pool = nullptr);
 
+    /**
+     * Configure the cross-request prefix cache for subsequent run()
+     * calls (default: disabled).  Each run() replays against a fresh
+     * cache instance, so one simulator can sweep budgets while
+     * sharing its calibration and composition caches; a disabled
+     * config (zero budget, or FOCUS_PREFIX_CACHE=off) reproduces the
+     * pre-cache replay bit for bit.
+     */
+    void setPrefixCache(const PrefixCacheConfig &cfg) { pcache_ = cfg; }
+    const PrefixCacheConfig &prefixCacheConfig() const
+    {
+        return pcache_;
+    }
+
     /** Batch-of-1 metrics of a mix class (calibrates on demand). */
     const RunMetrics &classSolo(int class_id);
+
+    /**
+     * Batch-of-1 metrics of a mix class served as a prefix-cache
+     * *hit* (builds the hit traces on demand) — the per-class
+     * latency-saving reference quoted by bench_serving.
+     */
+    const RunMetrics &classHitSolo(int class_id);
 
     const QueueConfig &queueConfig() const { return queue_; }
     const AccelConfig &accelConfig() const { return accel_; }
@@ -159,12 +194,21 @@ class ServingSimulator
      * start/finish times in a serial FIFO timeline starting at
      * t = 0.  @p outcomes and @p batches are overwritten, indexed by
      * position in @p stream / execution order.  Calibrates on demand.
+     *
+     * When @p cache is non-null and enabled, a serial pre-pass walks
+     * the planned batches in execution order, resolving each member's
+     * prefix key against the cache (lookup, then one admit per
+     * distinct missed key in first-occurrence order); hits swap in
+     * the combo's prefix-cached trace.  Batch *membership* is
+     * identical either way — plans key on the base trace, so a run
+     * with an enabled cache differs only in what each batch costs.
      */
     void replayOpenLoop(const BatchScheduler &scheduler,
                         const std::vector<ServeRequest> &stream,
                         ThreadPool *pool,
                         std::vector<RequestOutcome> &outcomes,
-                        std::vector<BatchRecord> &batches);
+                        std::vector<BatchRecord> &batches,
+                        PrefixCache *cache = nullptr);
 
     /** Batching keys (model id, retained rows) for @p stream. */
     std::vector<BatchKey>
@@ -177,11 +221,38 @@ class ServingSimulator
     const WorkloadTrace &comboTrace(size_t combo) const;
 
     /**
-     * Fused metrics of a batch composition (sequence of combo ids in
-     * member order), memoized in the process-lifetime cache shared
-     * with run().
+     * Composition code of one request: a combo id tagged with its
+     * prefix-cache outcome.  Compositions are sequences of codes, so
+     * the memoized batch cost distinguishes hit and miss variants of
+     * the same combo; a miss code equals the historical plain combo
+     * path bit for bit.
+     */
+    static size_t comboCode(size_t combo, bool hit)
+    {
+        return combo * 2 + (hit ? 1 : 0);
+    }
+
+    /** Trace behind a composition code (hit or base variant). */
+    const WorkloadTrace &codeTrace(size_t code) const;
+
+    /**
+     * Fused metrics of a batch composition (sequence of composition
+     * codes in member order), memoized in the process-lifetime cache
+     * shared with run().
      */
     const RunMetrics &costComposition(const std::vector<size_t> &comp);
+
+    /** Slab geometry of one combo's retained prefix, keyed payload. */
+    SlabSpec comboSlabSpec(size_t combo, const std::string &key) const;
+
+    /**
+     * Build each combo's prefix-cached trace + solo metrics
+     * (idempotent; fans across @p pool; calibrates on demand).
+     * Deferred off the calibration path so cache-disabled runs do no
+     * hit-trace work; replays with an enabled cache call it first,
+     * and the cluster layer must before costing hit codes itself.
+     */
+    void ensureHitTraces(ThreadPool *pool);
 
     /**
      * Aggregate a report over @p stream: @p outcomes is positional
@@ -204,6 +275,9 @@ class ServingSimulator
         MethodEval eval;
         WorkloadTrace trace;
         RunMetrics solo;
+        /** Prefix-cache-hit variants (built by ensureHitTraces). */
+        WorkloadTrace hit_trace;
+        RunMetrics hit_solo;
     };
 
     size_t internCombo(const std::string &model,
@@ -215,7 +289,9 @@ class ServingSimulator
     QueueConfig queue_;
     AccelConfig accel_;
     EvalOptions eval_;
+    PrefixCacheConfig pcache_;
     bool calibrated_ = false;
+    bool hit_traces_ready_ = false;
 
     std::map<std::pair<std::string, std::string>,
              std::unique_ptr<Evaluator>>
@@ -225,7 +301,7 @@ class ServingSimulator
     std::vector<size_t> class_combo_; ///< mix class -> combo
     std::vector<size_t> class_dense_; ///< mix class -> dense reference
 
-    /** Fused metrics per batch composition (combo-id sequence). */
+    /** Fused metrics per batch composition (code sequence). */
     std::map<std::vector<size_t>, RunMetrics> batch_cache_;
 };
 

@@ -300,15 +300,25 @@ simulateAccelerator(const AccelConfig &cfg, const WorkloadTrace &trace,
         // cost sum(r_i^2) over LayerEvents::queries, never
         // (sum r_i)^2.  The linear rmsnorm/swiglu terms sum either
         // way.  Single-query traces take the scalar path untouched
-        // (batch-of-1 bit-identity).
+        // (batch-of-1 bit-identity).  Prefix-cached context rows
+        // widen a request's softmax — each query row normalizes over
+        // its computed rows *plus* the cached keys — without adding
+        // query rows of their own; cached == 0 reproduces the
+        // historical r*r term bit for bit (r + 0.0 == r exactly).
         const double rows_in = static_cast<double>(layer.rowsIn());
         const double rows_out = static_cast<double>(layer.rowsOut());
         if (layer.queries.empty()) {
-            rm.sfu_ops += rows_in * rows_in * trace.heads * 3.0;
+            const double cached =
+                static_cast<double>(layer.cached_visual);
+            rm.sfu_ops +=
+                rows_in * (rows_in + cached) * trace.heads * 3.0;
         } else {
             for (const QueryRows &q : layer.queries) {
                 const double r = static_cast<double>(q.rowsIn());
-                rm.sfu_ops += r * r * trace.heads * 3.0; // softmax
+                const double cached =
+                    static_cast<double>(q.cached_visual);
+                rm.sfu_ops +=
+                    r * (r + cached) * trace.heads * 3.0; // softmax
             }
         }
         rm.sfu_ops += 2.0 * rows_in * trace.hidden * 2.0;    // rmsnorm

@@ -385,10 +385,12 @@ fuseTraces(const std::vector<const WorkloadTrace *> &parts)
             le.visual_out += pl.visual_out;
             le.text += pl.text;
             le.sec_topk += pl.sec_topk;
+            le.cached_visual += pl.cached_visual;
             if (pl.queries.empty()) {
                 le.queries.push_back(QueryRows{pl.visual_in,
                                                pl.visual_out, pl.text,
-                                               pl.sec_topk});
+                                               pl.sec_topk,
+                                               pl.cached_visual});
             } else {
                 // Re-fusing an already-fused trace keeps the
                 // original per-request spans flat.
@@ -406,6 +408,69 @@ fuseTraces(const std::vector<const WorkloadTrace *> &parts)
         le.gemms.push_back(fuseSharedSite(parts, l, GemmSite::Down));
 
         tr.layers.push_back(std::move(le));
+    }
+    return tr;
+}
+
+WorkloadTrace
+applyPrefixCache(const WorkloadTrace &trace)
+{
+    if (trace.batch_size != 1) {
+        panic("applyPrefixCache: want a single-query trace, got a "
+              "fused batch of %d", trace.batch_size);
+    }
+    if (trace.tp_degree != 1) {
+        panic("applyPrefixCache: want an unsplit trace, got a "
+              "tensor-parallel shard (tp=%d)", trace.tp_degree);
+    }
+    if (trace.layers.empty()) {
+        panic("applyPrefixCache: empty trace");
+    }
+
+    WorkloadTrace tr = trace;
+    // No visual rows enter layer 0 — the retained set is restored
+    // from the cache, not recomputed from the frame stream.
+    tr.visual0 = 0;
+    // SIC never runs on the hit path, so the empirical per-tile
+    // distribution must not be sampled (sampler-order invariant).
+    tr.tile_fracs.clear();
+    tr.functional_sparsity = 0.0;
+
+    for (LayerEvents &le : tr.layers) {
+        const int64_t cached = le.visual_in;
+        const int64_t text = le.text;
+        const int64_t keys = text + cached;
+        le.cached_visual = cached;
+        le.visual_in = 0;
+        le.visual_out = 0;
+        le.sec_topk = 0;
+        le.queries.clear();
+
+        for (GemmEvent &g : le.gemms) {
+            // Text rows only through every site; the attention
+            // events keep the full original key/value set so the
+            // cached-KV stream (w_bytes per query m-tile) and the
+            // softmax width are charged against the cached rows.
+            switch (g.site) {
+              case GemmSite::Qk:
+                g.m = text;
+                g.n = keys;
+                break;
+              case GemmSite::Pv:
+                g.m = text;
+                g.k = keys;
+                break;
+              case GemmSite::Qkv:
+              case GemmSite::OProj:
+              case GemmSite::GateUp:
+              case GemmSite::Down:
+                g.m = text;
+                break;
+            }
+            g.psi_in = 1.0;
+            g.gather_out = false;
+            g.psi_out = 1.0;
+        }
     }
     return tr;
 }

@@ -73,6 +73,14 @@ struct QueryRows
     int64_t text = 0;
     /** Top-k size if SEC prunes this request at this layer, else 0. */
     int64_t sec_topk = 0;
+    /**
+     * Prefix-cached context rows: retained visual tokens restored
+     * from the cross-request cache (serve/prefix_cache.h) instead of
+     * recomputed.  They contribute attention keys/values (the Qk/Pv
+     * events stream them, the softmax normalizes over them) but no
+     * query rows — rowsIn/rowsOut stay the *computed* row counts.
+     */
+    int64_t cached_visual = 0;
 
     int64_t rowsIn() const { return visual_in + text; }
     int64_t rowsOut() const { return visual_out + text; }
@@ -86,6 +94,8 @@ struct LayerEvents
     int64_t text = 0;
     /** Top-k size if SEC prunes at this layer, else 0. */
     int64_t sec_topk = 0;
+    /** Prefix-cached context rows (see QueryRows::cached_visual). */
+    int64_t cached_visual = 0;
     std::vector<GemmEvent> gemms;
 
     /**
@@ -228,6 +238,31 @@ WorkloadTrace buildDenseTrace(const ModelProfile &model,
  * batches behave like one flat fusion.
  */
 WorkloadTrace fuseTraces(const std::vector<const WorkloadTrace *> &parts);
+
+/**
+ * Derive the prefix-cache *hit* trace of a single-query trace: the
+ * retained visual token set is restored from the cross-request cache
+ * (serve/prefix_cache.h) instead of recomputed, so only the text
+ * (question) rows flow through the backbone while the cached rows
+ * serve as attention context.
+ *
+ * Per layer: the layer's original visual_in moves to cached_visual,
+ * visual_in/visual_out drop to zero, and SEC is disabled (the
+ * retained set was already concentrated when the slab was built).
+ * The projection and FFN GEMMs shrink to the text rows; QK^T keeps
+ * every original key (n = text + cached) and PV every original value
+ * row (k = text + cached), which is exactly how the accelerator
+ * model charges the cached-KV DRAM streaming — the attention events'
+ * weight-stream term reads K/V per query m-tile.  SIC is off on the
+ * hit path (psi = 1, no gathers, no tile_fracs draws): the text rows
+ * are too few to amortize a concentration pass.
+ *
+ * A hit trace with zero cached rows would be a degenerate request;
+ * the function requires an unfused (batch_size == 1), unsplit
+ * (tp_degree == 1) input and panics otherwise — hits are decided per
+ * request before fusion, and parallel splits happen downstream.
+ */
+WorkloadTrace applyPrefixCache(const WorkloadTrace &trace);
 
 /**
  * Exact work accounting of a trace, on quantities that partition

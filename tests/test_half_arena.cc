@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Tests for the prefix-cache storage tier's numeric and memory
+ * primitives: the fast fp16 conversion (bit-exact to the reference on
+ * every binary16 pattern and across the classification boundaries),
+ * the bf16 conversions, the batch converters, and the SlabArena
+ * pooled allocator (alignment, byte budget, free-list reuse, misuse
+ * panics).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/half.h"
+
+namespace focus
+{
+namespace
+{
+
+// Death tests first (by convention): forking is cleanest before
+// other tests have started pool threads.
+TEST(ArenaDeathTest, PanicsOnMisuse)
+{
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_DEATH({ SlabArena a(0); }, "capacity must be positive");
+    EXPECT_DEATH(
+        {
+            SlabArena a(1024);
+            a.alloc(0);
+        },
+        "non-positive size");
+    EXPECT_DEATH(
+        {
+            SlabArena a(1024);
+            a.free(nullptr, 64);
+        },
+        "null pointer");
+    EXPECT_DEATH(
+        {
+            SlabArena a(1024);
+            int foreign = 0;
+            a.free(&foreign, 64);
+        },
+        "not from this arena");
+}
+
+// ---------------------------------------------------------------
+// binary16
+// ---------------------------------------------------------------
+
+TEST(Half, AllPatternsRoundTripExactly)
+{
+    // Every non-NaN binary16 value widens to float and converts back
+    // to the identical bit pattern; NaN stays NaN (payload may gain
+    // the quiet bit, sign and NaN-ness are preserved).
+    for (uint32_t b = 0; b <= 0xffffu; ++b) {
+        const uint16_t h = static_cast<uint16_t>(b);
+        const float f = halfBitsToFloat(h);
+        const uint16_t back = floatToHalfBits(f);
+        const bool is_nan =
+            (h & 0x7c00u) == 0x7c00u && (h & 0x03ffu) != 0;
+        if (is_nan) {
+            EXPECT_TRUE(std::isnan(f));
+            EXPECT_EQ(back & 0x7c00u, 0x7c00u);
+            EXPECT_NE(back & 0x03ffu, 0u);
+            EXPECT_EQ(back & 0x8000u, h & 0x8000u);
+        } else {
+            EXPECT_EQ(back, h) << "pattern 0x" << std::hex << b;
+        }
+    }
+}
+
+TEST(Half, FastMatchesReferenceOnBoundaryBands)
+{
+    // The fast path classifies by magnitude against three thresholds
+    // (subnormal floor, normal floor, overflow) plus the inf/NaN
+    // band; sweep a dense window around each, both signs.
+    const uint32_t centers[] = {0x33000000u, 0x38800000u, 0x47800000u,
+                                0x7f800000u};
+    for (const uint32_t c : centers) {
+        for (int64_t d = -65536; d <= 65536; ++d) {
+            const uint32_t abs =
+                static_cast<uint32_t>(static_cast<int64_t>(c) + d);
+            for (const uint32_t sign : {0u, 0x80000000u}) {
+                const float f = detail::bitsFloat(sign | abs);
+                ASSERT_EQ(floatToHalfBitsFast(f), floatToHalfBits(f))
+                    << "bits 0x" << std::hex << (sign | abs);
+            }
+        }
+    }
+}
+
+TEST(Half, FastMatchesReferenceOnStridedSweepAndSpecials)
+{
+    // Coarse sweep of the whole uint32 space (coprime stride hits
+    // every exponent) plus the exact special values.
+    for (uint64_t b = 0; b <= 0xffffffffull; b += 251) {
+        const float f = detail::bitsFloat(static_cast<uint32_t>(b));
+        ASSERT_EQ(floatToHalfBitsFast(f), floatToHalfBits(f))
+            << "bits 0x" << std::hex << b;
+    }
+    const uint32_t specials[] = {
+        0x00000000u, 0x80000000u, // +-0
+        0x00000001u, 0x807fffffu, // float subnormals
+        0x7f800000u, 0xff800000u, // +-inf
+        0x7f800001u, 0x7fc00000u, 0xffc00001u, // NaNs
+        0x3f800000u, 0xbf800000u, // +-1
+        0x477fe000u, 0x477ff000u, // just below half overflow
+        0x38800000u - 1, 0x33000000u - 1,
+    };
+    for (const uint32_t b : specials) {
+        const float f = detail::bitsFloat(b);
+        EXPECT_EQ(floatToHalfBitsFast(f), floatToHalfBits(f))
+            << "bits 0x" << std::hex << b;
+    }
+}
+
+TEST(Half, KnownConversions)
+{
+    EXPECT_EQ(floatToHalfBits(1.0f), 0x3c00u);
+    EXPECT_EQ(floatToHalfBits(-2.0f), 0xc000u);
+    EXPECT_EQ(floatToHalfBits(65504.0f), 0x7bffu); // half max
+    EXPECT_EQ(floatToHalfBits(65536.0f), 0x7c00u); // overflow -> inf
+    EXPECT_EQ(floatToHalfBits(5.9604645e-8f), 0x0001u); // min subnorm
+    // RNE: 1 + 1/2048 is exactly between 1.0 and 1 + 1/1024 -> even.
+    EXPECT_EQ(floatToHalfBits(1.00048828125f), 0x3c00u);
+}
+
+// ---------------------------------------------------------------
+// bfloat16
+// ---------------------------------------------------------------
+
+TEST(Bf16, RoundTripAndRounding)
+{
+    // Every bf16 pattern is exactly representable in float, and
+    // non-NaN patterns survive the round trip bit for bit.
+    for (uint32_t b = 0; b <= 0xffffu; ++b) {
+        const uint16_t h = static_cast<uint16_t>(b);
+        const float f = bf16BitsToFloat(h);
+        const bool is_nan =
+            (h & 0x7f80u) == 0x7f80u && (h & 0x007fu) != 0;
+        if (is_nan) {
+            EXPECT_TRUE(std::isnan(f));
+            const uint16_t back = floatToBf16Bits(f);
+            EXPECT_EQ(back & 0x7f80u, 0x7f80u);
+            EXPECT_NE(back & 0x007fu, 0u);
+        } else {
+            EXPECT_EQ(floatToBf16Bits(f), h)
+                << "pattern 0x" << std::hex << b;
+        }
+    }
+    // RNE on the dropped 16 bits: halfway rounds to even.
+    EXPECT_EQ(floatToBf16Bits(detail::bitsFloat(0x3f808000u)),
+              0x3f80u); // tie, even stays
+    EXPECT_EQ(floatToBf16Bits(detail::bitsFloat(0x3f818000u)),
+              0x3f82u); // tie, odd rounds up
+    EXPECT_EQ(floatToBf16Bits(detail::bitsFloat(0x3f808001u)),
+              0x3f81u); // just past tie
+    // NaN with payload only in the low 16 bits keeps NaN-ness.
+    const float low_nan = detail::bitsFloat(0x7f800001u);
+    EXPECT_TRUE(std::isnan(bf16BitsToFloat(floatToBf16Bits(low_nan))));
+}
+
+// ---------------------------------------------------------------
+// batch converters
+// ---------------------------------------------------------------
+
+TEST(BatchConvert, MatchesScalarKernels)
+{
+    std::vector<float> src;
+    for (int i = -300; i < 300; ++i) {
+        src.push_back(std::ldexp(1.0f + static_cast<float>(i & 7) / 8,
+                                 i / 12));
+        src.push_back(-src.back());
+    }
+    std::vector<uint16_t> h(src.size()), b(src.size());
+    floatToHalfN(src.data(), h.data(), src.size());
+    floatToBf16N(src.data(), b.data(), src.size());
+    for (size_t i = 0; i < src.size(); ++i) {
+        EXPECT_EQ(h[i], floatToHalfBits(src[i]));
+        EXPECT_EQ(b[i], floatToBf16Bits(src[i]));
+    }
+    std::vector<float> hf(src.size()), bf(src.size());
+    halfToFloatN(h.data(), hf.data(), h.size());
+    bf16ToFloatN(b.data(), bf.data(), b.size());
+    for (size_t i = 0; i < src.size(); ++i) {
+        EXPECT_EQ(hf[i], halfBitsToFloat(h[i]));
+        EXPECT_EQ(bf[i], bf16BitsToFloat(b[i]));
+    }
+    // n == 0 is a no-op (null pointers allowed).
+    floatToHalfN(nullptr, nullptr, 0);
+    halfToFloatN(nullptr, nullptr, 0);
+}
+
+// ---------------------------------------------------------------
+// SlabArena
+// ---------------------------------------------------------------
+
+TEST(Arena, AlignmentAndAccounting)
+{
+    SlabArena a(1 << 20);
+    EXPECT_EQ(a.capacity(), 1 << 20);
+    EXPECT_EQ(a.allocated(), 0);
+
+    void *p1 = a.alloc(100); // rounds to 128
+    void *p2 = a.alloc(64);
+    ASSERT_NE(p1, nullptr);
+    ASSERT_NE(p2, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p1) % SlabArena::kAlign, 0u);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p2) % SlabArena::kAlign, 0u);
+    EXPECT_EQ(a.allocated(), 128 + 64);
+    EXPECT_EQ(a.peak(), 128 + 64);
+
+    a.free(p1, 100);
+    EXPECT_EQ(a.allocated(), 64);
+    EXPECT_EQ(a.peak(), 128 + 64); // peak is a high-water mark
+}
+
+TEST(Arena, BudgetIsLiveBytes)
+{
+    SlabArena a(256);
+    void *p1 = a.alloc(128);
+    void *p2 = a.alloc(128);
+    ASSERT_NE(p1, nullptr);
+    ASSERT_NE(p2, nullptr);
+    // Budget exhausted: alloc fails without throwing.
+    EXPECT_EQ(a.alloc(64), nullptr);
+    // Freeing restores headroom — the budget bounds *live* bytes.
+    a.free(p1, 128);
+    void *p3 = a.alloc(128);
+    ASSERT_NE(p3, nullptr);
+    // A single slab larger than the whole budget can never fit.
+    SlabArena small(64);
+    EXPECT_EQ(small.alloc(65), nullptr);
+}
+
+TEST(Arena, FreeListReusesExactSizes)
+{
+    SlabArena a(1 << 20);
+    void *p1 = a.alloc(4096);
+    const int64_t chunks = a.chunkCount();
+    a.free(p1, 4096);
+    // Same size comes back from the free list: identical pointer, no
+    // new chunk.
+    void *p2 = a.alloc(4096);
+    EXPECT_EQ(p2, p1);
+    EXPECT_EQ(a.chunkCount(), chunks);
+    // A different size bump-allocates fresh memory instead.
+    void *p3 = a.alloc(2048);
+    EXPECT_NE(p3, p2);
+}
+
+TEST(Arena, LargeRequestGetsOwnChunk)
+{
+    SlabArena a(4 << 20);
+    // Larger than the 256 KiB chunk granularity: sized to fit.
+    void *p = a.alloc(1 << 20);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % SlabArena::kAlign, 0u);
+    EXPECT_EQ(a.allocated(), 1 << 20);
+    a.free(p, 1 << 20);
+    EXPECT_EQ(a.allocated(), 0);
+}
+
+} // namespace
+} // namespace focus
